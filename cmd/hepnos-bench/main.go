@@ -1,0 +1,185 @@
+// Command hepnos-bench runs the paper's HEPnOS configuration studies
+// (Table IV, Figures 9–13) on the simulated platform and prints the
+// series each figure plots. Optionally it persists the per-process
+// profile/trace dumps for the symprof/symtrace/symstats tools.
+//
+// Usage:
+//
+//	hepnos-bench                       # run all seven configurations
+//	hepnos-bench -config C2            # one configuration
+//	hepnos-bench -figure 9             # the C1-vs-C2 study
+//	hepnos-bench -figure 10|11|12|13
+//	hepnos-bench -config C5 -out dumps/
+//	hepnos-bench -scale 4              # divide event counts by 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"symbiosys/internal/core"
+	"symbiosys/internal/experiments"
+)
+
+func main() {
+	configName := flag.String("config", "", "run one configuration (C1..C7)")
+	figure := flag.Int("figure", 0, "reproduce one figure (9, 10, 11, 12, or 13)")
+	scale := flag.Int("scale", 1, "divide per-client event counts by this factor")
+	out := flag.String("out", "", "directory to write per-process dumps into")
+	flag.Parse()
+
+	switch {
+	case *configName != "":
+		runOne(*configName, *scale, *out)
+	case *figure != 0:
+		runFigure(*figure, *scale)
+	default:
+		for _, cfg := range experiments.TableIV() {
+			report(run(cfg, *scale))
+		}
+	}
+}
+
+func lookup(name string) experiments.HEPnOSConfig {
+	for _, cfg := range experiments.TableIV() {
+		if strings.EqualFold(cfg.Name, name) {
+			return cfg
+		}
+	}
+	fmt.Fprintf(os.Stderr, "hepnos-bench: unknown configuration %q (want C1..C7)\n", name)
+	os.Exit(2)
+	panic("unreachable")
+}
+
+func run(cfg experiments.HEPnOSConfig, scale int) *experiments.HEPnOSResult {
+	if scale > 1 {
+		cfg.EventsPerClient /= scale
+		if cfg.EventsPerClient < 64 {
+			cfg.EventsPerClient = 64
+		}
+	}
+	res, err := experiments.RunHEPnOS(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hepnos-bench:", err)
+		os.Exit(1)
+	}
+	return res
+}
+
+func report(res *experiments.HEPnOSResult) {
+	c := res.Components
+	fmt.Printf("\n=== %s (clients %d, servers %d, batch %d, threads %d, dbs %d, OFI %d, progress-ES %v)\n",
+		res.Config.Name, res.Config.TotalClients, res.Config.TotalServers,
+		res.Config.BatchSize, res.Config.Threads, res.Config.Databases,
+		res.Config.OFIMaxEvents, res.Config.ClientProgressThread)
+	fmt.Printf("  wall %v   events %d   put_packed RPCs %d   trace samples %d\n",
+		res.WallTime.Round(time.Millisecond), res.EventsStored,
+		res.Unaccounted.Count, res.TraceSamples)
+	fmt.Printf("  cumulative target RPC execution %v (Fig 9 bar):\n", res.CumTargetExec.Round(time.Millisecond))
+	fmt.Printf("    handler %v (%.1f%%)  exec %v  input-deser %v  rdma %v  target-cb %v\n",
+		time.Duration(c[core.CompHandler]).Round(time.Millisecond), 100*res.HandlerFraction(),
+		time.Duration(c[core.CompTargetExec]).Round(time.Millisecond),
+		time.Duration(c[core.CompInputDeser]).Round(time.Millisecond),
+		time.Duration(c[core.CompRDMA]).Round(time.Millisecond),
+		time.Duration(c[core.CompTargetCB]).Round(time.Millisecond))
+	fmt.Printf("  cumulative origin execution %v; unaccounted %v (%.1f%%) (Fig 11 bar)\n",
+		res.CumOriginExec.Round(time.Millisecond),
+		time.Duration(res.Unaccounted.Unaccount).Round(time.Millisecond),
+		100*res.Unaccounted.UnaccountedFraction())
+	fmt.Printf("  blocked ULTs: %d samples, max %d (Fig 10 scatter)\n",
+		len(res.BlockedSeries), res.MaxBlocked())
+	fmt.Printf("  ofi events read: %d samples, at-cap %.1f%% of passes (Fig 12 series)\n",
+		len(res.OFISeries), 100*res.OFIAtCapFraction())
+}
+
+func runOne(name string, scale int, out string) {
+	cfg := lookup(name)
+	if out == "" {
+		report(run(cfg, scale))
+		return
+	}
+	if scale > 1 {
+		cfg.EventsPerClient /= scale
+	}
+	profiles, traces, err := experiments.CollectHEPnOSDumps(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hepnos-bench:", err)
+		os.Exit(1)
+	}
+	if err := experiments.WriteDumps(out, profiles, traces); err != nil {
+		fmt.Fprintln(os.Stderr, "hepnos-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d profile and %d trace dumps to %s\n", len(profiles), len(traces), out)
+}
+
+func runFigure(fig, scale int) {
+	switch fig {
+	case 9:
+		r1 := run(experiments.C1, scale)
+		r2 := run(experiments.C2, scale)
+		report(r1)
+		report(r2)
+		fmt.Printf("\nFigure 9: C1 handler share %.1f%% (paper 26.6%%); C2 %.1f%% (paper 14%%); "+
+			"C2 improves cumulative target execution by %.1f%% (paper 53.3%%)\n",
+			100*r1.HandlerFraction(), 100*r2.HandlerFraction(),
+			100*(1-float64(r2.CumTargetExec)/float64(r1.CumTargetExec)))
+	case 10:
+		r2 := run(experiments.C2, scale)
+		r3 := run(experiments.C3, scale)
+		report(r2)
+		report(r3)
+		fmt.Printf("\nFigure 10: C2 issued %d RPCs (max blocked %d); C3 issued %d (max blocked %d); "+
+			"C3 improves by %.1f%% (paper 28.5%%)\n",
+			r2.Unaccounted.Count, r2.MaxBlocked(), r3.Unaccounted.Count, r3.MaxBlocked(),
+			100*(1-float64(r3.CumTargetExec)/float64(r2.CumTargetExec)))
+	case 11, 12:
+		r4 := run(experiments.C4, scale)
+		r5 := run(experiments.C5, scale)
+		r6 := run(experiments.C6, scale)
+		r7 := run(experiments.C7, scale)
+		for _, r := range []*experiments.HEPnOSResult{r4, r5, r6, r7} {
+			report(r)
+		}
+		mean := func(r *experiments.HEPnOSResult) time.Duration {
+			if r.Unaccounted.Count == 0 {
+				return 0
+			}
+			return r.CumOriginExec / time.Duration(r.Unaccounted.Count)
+		}
+		fmt.Printf("\nFigure 11: C4 is %.0fx faster than C5 in wall time (paper ~475x at full scale);\n"+
+			"  per-RPC origin execution C5 %v -> C6 %v (%.0f%% better; paper >40%%) -> C7 %v (%.0f%% better; paper 75%%)\n",
+			float64(r5.WallTime)/float64(r4.WallTime),
+			mean(r5).Round(time.Microsecond), mean(r6).Round(time.Microsecond),
+			100*(1-float64(mean(r6))/float64(mean(r5))),
+			mean(r7).Round(time.Microsecond),
+			100*(1-float64(mean(r7))/float64(mean(r6))))
+		fmt.Printf("Figure 12: at-cap fraction C4 %.2f, C5 %.2f (pinned), C6 %.2f, C7 %.2f (drained)\n",
+			r4.OFIAtCapFraction(), r5.OFIAtCapFraction(), r6.OFIAtCapFraction(), r7.OFIAtCapFraction())
+	case 13:
+		base := experiments.C4
+		if scale > 1 {
+			base.EventsPerClient /= scale
+		}
+		res, err := experiments.RunOverheadStudy(experiments.OverheadConfig{Base: base, Reps: 5})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hepnos-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("Figure 13: data-loader execution time per measurement stage (5 reps):")
+		for _, st := range res.Stages {
+			fmt.Printf("  %-12s mean %v  min %v  max %v  trace samples %d\n",
+				st.Stage, st.Mean.Round(time.Millisecond),
+				st.Min.Round(time.Millisecond), st.Max.Round(time.Millisecond),
+				st.TraceSamples)
+		}
+		fmt.Printf("  full-support overhead vs baseline: %.2fx (paper: indistinguishable from variation)\n",
+			res.OverheadVsBaseline(core.StageFull))
+	default:
+		fmt.Fprintln(os.Stderr, "hepnos-bench: -figure must be 9, 10, 11, 12, or 13")
+		os.Exit(2)
+	}
+}

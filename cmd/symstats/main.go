@@ -1,0 +1,118 @@
+// Command symstats is the SYMBIOSYS system statistics summary tool: it
+// ingests per-process trace dumps and reports the resource-saturation
+// view — pool runnable/blocked extremes, OFI events-read behaviour
+// against the configured threshold, and completion-queue extremes. It
+// also prints the PVAR class table (paper Table I) and the list of
+// PVARs a Mercury instance exports (paper Table II).
+//
+// Usage:
+//
+//	symstats -dir dumps/ [-cap 16]
+//	symstats -classes
+//	symstats -pvars
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"symbiosys/internal/analysis"
+	"symbiosys/internal/core"
+	"symbiosys/internal/mercury"
+	"symbiosys/internal/mercury/pvar"
+	"symbiosys/internal/na"
+)
+
+func main() {
+	dir := flag.String("dir", "", "directory holding *.trace.json dumps")
+	capEvents := flag.Uint64("cap", 16, "OFI_max_events threshold for at-cap counting")
+	classes := flag.Bool("classes", false, "print the PVAR class table (paper Table I)")
+	pvars := flag.Bool("pvars", false, "print the PVARs a Mercury instance exports (paper Table II)")
+	flag.Parse()
+
+	switch {
+	case *classes:
+		printClasses()
+	case *pvars:
+		printPVars()
+	case *dir != "":
+		printStats(*dir, *capEvents)
+	default:
+		fmt.Fprintln(os.Stderr, "symstats: pass -dir, -classes, or -pvars; see -h")
+		os.Exit(2)
+	}
+}
+
+func printClasses() {
+	fmt.Println("PVAR classes (paper Table I):")
+	rows := []struct {
+		c    pvar.Class
+		desc string
+	}{
+		{pvar.ClassState, "Represents any one of a set of discrete states"},
+		{pvar.ClassCounter, "Monotonically increasing value"},
+		{pvar.ClassTimer, "Interval event timer"},
+		{pvar.ClassLevel, "Represents the utilization level of a resource"},
+		{pvar.ClassSize, "Represents the size of a resource"},
+		{pvar.ClassHighWatermark, "Highest recorded value"},
+		{pvar.ClassLowWatermark, "Lowest recorded value"},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-14s %s\n", r.c, r.desc)
+	}
+}
+
+func printPVars() {
+	// Instantiate a throwaway Mercury class to query its registry the
+	// way an external tool would: session, query, finalize.
+	fabric := na.NewFabric(na.DefaultConfig())
+	ep, err := fabric.NewEndpoint("local", "symstats")
+	if err != nil {
+		fatal(err)
+	}
+	hg := mercury.NewClass(ep, mercury.Config{})
+	session := hg.PVars().InitSession()
+	defer session.Finalize()
+	infos, err := session.Query()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("PVARs exported by a Mercury instance (paper Table II): %d variables\n", len(infos))
+	for _, info := range infos {
+		fmt.Printf("  %-34s %-14s %-10s %s\n",
+			info.Name, info.Class, info.Binding, info.Description)
+	}
+}
+
+func printStats(dir string, capEvents uint64) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.trace.json"))
+	if err != nil {
+		fatal(err)
+	}
+	if len(matches) == 0 {
+		fatal(fmt.Errorf("no *.trace.json dumps in %s", dir))
+	}
+	var dumps []*core.TraceDump
+	for _, path := range matches {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := core.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		dumps = append(dumps, d)
+	}
+	ts := analysis.MergeTraces(dumps)
+	stats := analysis.SystemStats(ts, capEvents)
+	analysis.RenderSystemStats(os.Stdout, stats)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "symstats:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+// Command symtrace is the SYMBIOSYS trace summary and stitching tool
+// (paper §V-A3): it ingests per-process trace dumps, groups events into
+// distributed requests by request ID and Lamport order, and either
+// prints a per-request summary or exports one request as a Zipkin v2
+// JSON file for Gantt-chart visualization (the paper's Figure 5).
+//
+// Usage:
+//
+//	symtrace -dir dumps/                    # summary of all requests
+//	symtrace -dir dumps/ -req 0x100000001   # one request's spans
+//	symtrace -dir dumps/ -req 0x100000001 -zipkin out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"symbiosys/internal/analysis"
+	"symbiosys/internal/core"
+)
+
+func main() {
+	dir := flag.String("dir", "", "directory holding *.trace.json dumps")
+	reqStr := flag.String("req", "", "request ID to inspect (hex with 0x, or decimal)")
+	zipkin := flag.String("zipkin", "", "write the selected request as Zipkin v2 JSON to this file")
+	gantt := flag.Bool("gantt", false, "render the selected request as an ASCII Gantt chart")
+	maxList := flag.Int("n", 10, "number of requests to list in the summary")
+	flag.Parse()
+
+	files := flag.Args()
+	if *dir != "" {
+		matches, err := filepath.Glob(filepath.Join(*dir, "*.trace.json"))
+		if err != nil {
+			fatal(err)
+		}
+		files = append(files, matches...)
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "symtrace: no trace dumps given; see -h")
+		os.Exit(2)
+	}
+
+	var dumps []*core.TraceDump
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := core.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		dumps = append(dumps, d)
+	}
+	ts := analysis.MergeTraces(dumps)
+	fmt.Printf("ingested %d events from %d process dump(s), %d dropped\n",
+		len(ts.Events), len(dumps), ts.Dropped)
+
+	if *reqStr == "" {
+		summarize(ts, *maxList)
+		return
+	}
+	reqID, err := parseID(*reqStr)
+	if err != nil {
+		fatal(err)
+	}
+	spans := ts.Spans(reqID)
+	if len(spans) == 0 {
+		fatal(fmt.Errorf("request %#x has no spans", reqID))
+	}
+	fmt.Printf("\nrequest %#x: %d spans\n", reqID, len(spans))
+	for _, s := range spans {
+		fmt.Printf("  [%6s] %-28s %-22s start+%-10v dur %v\n",
+			s.Kind, s.RPCName, s.Entity,
+			time.Duration(s.StartNanos-spans[0].StartNanos), time.Duration(s.DurNanos))
+	}
+	if *gantt {
+		fmt.Println()
+		analysis.RenderGantt(os.Stdout, spans, 64)
+	}
+	if gaps := analysis.RequestGaps(spans); len(gaps) > 0 {
+		fmt.Printf("\nuncovered stretches of the root span (%.1f%% of the request):\n",
+			100*analysis.UncoveredFraction(spans))
+		for _, g := range gaps {
+			fmt.Printf("  after %-28s %v\n", g.After, time.Duration(g.DurNanos).Round(time.Microsecond))
+		}
+	}
+	if *zipkin != "" {
+		f, err := os.Create(*zipkin)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := ts.WriteZipkin(f, reqID); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote Zipkin v2 trace to %s\n", *zipkin)
+	}
+}
+
+// summarize lists the largest requests by span count.
+func summarize(ts *analysis.TraceSet, n int) {
+	reqs := ts.Requests()
+	type row struct {
+		id    uint64
+		evs   int
+		spans int
+	}
+	rows := make([]row, 0, len(reqs))
+	for id, evs := range reqs {
+		rows = append(rows, row{id: id, evs: len(evs), spans: len(analysis.SpansOf(id, evs))})
+	}
+	// Largest requests first.
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].spans > rows[i].spans {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	fmt.Printf("\n%d distributed requests; largest %d:\n", len(rows), min(n, len(rows)))
+	for i := 0; i < len(rows) && i < n; i++ {
+		fmt.Printf("  request %#016x: %3d events, %3d spans\n",
+			rows[i].id, rows[i].evs, rows[i].spans)
+	}
+}
+
+func parseID(s string) (uint64, error) {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		return strconv.ParseUint(s[2:], 16, 64)
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "symtrace:", err)
+	os.Exit(1)
+}

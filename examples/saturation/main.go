@@ -1,0 +1,93 @@
+// Saturation example: detect an undersized handler pool from SYMBIOSYS
+// output alone, the paper's §V-C2 workflow. The same bursty workload
+// runs against a server with 2 execution streams and one with 16; the
+// target ULT handler time (t4→t5) exposes the difference, and the
+// remediation is chosen from the measurements, not from guesswork.
+//
+// Run with:
+//
+//	go run ./examples/saturation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/core"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/mercury"
+	"symbiosys/internal/na"
+)
+
+func runConfig(streams int) (handlerShare float64, cumExec time.Duration) {
+	fabric := na.NewFabric(na.DefaultConfig())
+	server, err := margo.New(margo.Options{
+		Mode: margo.ModeServer, Node: "n1", Name: "svc",
+		Fabric: fabric, HandlerStreams: streams, Stage: core.StageFull,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Shutdown()
+	server.Register("work_rpc", func(ctx *margo.Context) {
+		ctx.Compute(500 * time.Microsecond) // fixed request cost
+		ctx.Respond(mercury.Void{})
+	})
+
+	client, err := margo.New(margo.Options{
+		Mode: margo.ModeClient, Node: "n0", Name: "cli",
+		Fabric: fabric, Stage: core.StageFull,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Shutdown()
+	client.RegisterClient("work_rpc")
+
+	// Burst: 32 concurrent requests from 32 ULTs.
+	const burst = 32
+	ults := make([]*abt.ULT, burst)
+	for i := range ults {
+		ults[i] = client.Run("issuer", func(self *abt.ULT) {
+			client.Forward(self, server.Addr(), "work_rpc", &mercury.Void{}, nil)
+		})
+	}
+	for _, u := range ults {
+		u.Join(nil)
+	}
+	server.WaitIdle(2 * time.Second)
+	time.Sleep(20 * time.Millisecond)
+
+	var handler, exec, cb uint64
+	for _, s := range server.Profiler().TargetStats() {
+		handler += s.Components[core.CompHandler]
+		exec += s.Components[core.CompTargetExec]
+		cb += s.Components[core.CompTargetCB]
+	}
+	total := handler + exec + cb
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(handler) / float64(total), time.Duration(total)
+}
+
+func main() {
+	fmt.Println("diagnosing an undersized handler pool from SYMBIOSYS data")
+	fmt.Println("(burst of 32 concurrent 500µs requests)")
+
+	share2, cum2 := runConfig(2)
+	fmt.Printf("\n  2 execution streams: cumulative target execution %v, handler wait share %.1f%%\n",
+		cum2.Round(time.Millisecond), 100*share2)
+	if share2 > 0.25 {
+		fmt.Println("  -> diagnosis: requests wait in the Argobots pool; the pool is starved")
+		fmt.Println("  -> remediation: add execution streams (the paper's C1 -> C2 move)")
+	}
+
+	share16, cum16 := runConfig(16)
+	fmt.Printf("\n  16 execution streams: cumulative target execution %v, handler wait share %.1f%%\n",
+		cum16.Round(time.Millisecond), 100*share16)
+	fmt.Printf("\nimprovement from remediation: %.1f%% less cumulative execution time\n",
+		100*(1-float64(cum16)/float64(cum2)))
+}

@@ -1,0 +1,3 @@
+module symbiosys
+
+go 1.22

@@ -1,0 +1,58 @@
+// Package abt implements a cooperative user-level tasking runtime modeled
+// on Argobots, the threading substrate of the Mochi stack.
+//
+// The runtime decouples units of work (user-level threads, ULTs) from the
+// hardware resources that execute them (execution streams, XStreams). ULTs
+// are created into Pools; each XStream repeatedly dequeues a ULT from its
+// pools and runs it until the ULT yields, blocks, or terminates. At most
+// one ULT runs on an XStream at any instant, which is the property that
+// produces the scheduling phenomena SYMBIOSYS observes: handler-pool
+// pileups when XStreams are scarce, blocked-ULT spikes on serialized
+// backends, and progress-loop starvation on shared streams.
+//
+// Blocking primitives (Eventual, Mutex, Barrier, sleeping) park the
+// calling ULT and release its XStream to run other work. Pools expose the
+// instantaneous number of runnable and blocked ULTs, the counters the
+// paper samples in its Figure 10 study.
+//
+// ULTs are implemented as goroutines gated by a run token: a parked ULT
+// goroutine consumes no XStream. Because Go has no thread-local storage,
+// every cooperative operation takes the current *ULT explicitly; handler
+// functions receive it as their first argument.
+package abt
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// State describes the lifecycle position of a ULT.
+type State int32
+
+// ULT lifecycle states.
+const (
+	StateReady State = iota
+	StateRunning
+	StateBlocked
+	StateTerminated
+)
+
+// String returns the lowercase name of the state.
+func (s State) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateTerminated:
+		return "terminated"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+var ultIDs atomic.Uint64
+
+func nextULTID() uint64 { return ultIDs.Add(1) }

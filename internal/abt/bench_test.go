@@ -1,0 +1,72 @@
+package abt
+
+import "testing"
+
+// BenchmarkULTSpawnJoin measures the full create→run→join cycle.
+func BenchmarkULTSpawnJoin(b *testing.B) {
+	rt := NewRuntime()
+	p := rt.AddPool("main")
+	rt.AddXStreams("es", 1, p)
+	defer rt.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := p.Create("w", func(self *ULT) {})
+		u.Join(nil)
+	}
+}
+
+// BenchmarkYield measures one cooperative yield (park + requeue + resume).
+func BenchmarkYield(b *testing.B) {
+	rt := NewRuntime()
+	p := rt.AddPool("main")
+	rt.AddXStreams("es", 1, p)
+	defer rt.Shutdown()
+	u := p.Create("y", func(self *ULT) {
+		for i := 0; i < b.N; i++ {
+			self.Yield()
+		}
+	})
+	u.Join(nil)
+}
+
+// BenchmarkEventualRoundTrip measures park-on-wait plus wake-on-set.
+func BenchmarkEventualRoundTrip(b *testing.B) {
+	rt := NewRuntime()
+	p := rt.AddPool("main")
+	rt.AddXStreams("es", 2, p)
+	defer rt.Shutdown()
+	u := p.Create("pingpong", func(self *ULT) {
+		for i := 0; i < b.N; i++ {
+			ev := NewEventual()
+			p.Create("setter", func(*ULT) { ev.Set(nil) })
+			ev.Wait(self)
+		}
+	})
+	u.Join(nil)
+}
+
+// BenchmarkMutexUncontended measures lock/unlock without waiters.
+func BenchmarkMutexUncontended(b *testing.B) {
+	m := NewMutex()
+	for i := 0; i < b.N; i++ {
+		m.Lock(nil)
+		m.Unlock()
+	}
+}
+
+// BenchmarkSemaphore measures acquire/release without blocking.
+func BenchmarkSemaphore(b *testing.B) {
+	s := NewSemaphore(1)
+	for i := 0; i < b.N; i++ {
+		s.Acquire(nil)
+		s.Release()
+	}
+}
+
+// BenchmarkPoolSnapshot measures the trace-annotation sampling cost.
+func BenchmarkPoolSnapshot(b *testing.B) {
+	p := NewPool("m")
+	for i := 0; i < b.N; i++ {
+		_ = p.Snapshot()
+	}
+}

@@ -1,0 +1,142 @@
+package abt
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is a FIFO queue of ready ULTs, the analogue of an ABT_pool. ULTs
+// are created into a pool and return to it when they yield or are woken
+// from a blocking primitive. XStreams attach to one or more pools and
+// drain them.
+//
+// Pools publish the metrics SYMBIOSYS samples when generating trace
+// events: the number of runnable ULTs currently queued, the number of
+// ULTs created from the pool that are blocked on a primitive, and
+// lifetime creation/execution counters.
+type Pool struct {
+	name string
+
+	mu sync.Mutex
+	q  []*ULT
+
+	// subs holds the wake channels of attached XStreams; push notifies
+	// them so an idle stream re-examines its pools.
+	subs []chan struct{}
+
+	blocked  atomic.Int64
+	created  atomic.Uint64
+	executed atomic.Uint64
+	sizeHWM  atomic.Int64
+}
+
+// NewPool returns an empty pool with the given debug name.
+func NewPool(name string) *Pool {
+	return &Pool{name: name}
+}
+
+// Name returns the pool's debug name.
+func (p *Pool) Name() string { return p.name }
+
+// Create spawns a new ULT running fn into the pool and returns its
+// handle. The ULT begins executing when an attached XStream dequeues it.
+func (p *Pool) Create(name string, fn Func) *ULT {
+	u := &ULT{
+		id:      nextULTID(),
+		name:    name,
+		fn:      fn,
+		pool:    p,
+		resume:  make(chan struct{}, 1),
+		notify:  make(chan signal, 1),
+		doneCh:  make(chan struct{}),
+		spawned: time.Now(),
+	}
+	p.created.Add(1)
+	p.push(u)
+	return u
+}
+
+// push enqueues a ready ULT and wakes one idle subscriber per waiting
+// stream (wake channels are buffered, so lost notifications cannot
+// occur: a stream always rechecks its pools after draining its channel).
+func (p *Pool) push(u *ULT) {
+	u.state.Store(int32(StateReady))
+	p.mu.Lock()
+	p.q = append(p.q, u)
+	if n := int64(len(p.q)); n > p.sizeHWM.Load() {
+		p.sizeHWM.Store(n)
+	}
+	subs := p.subs
+	p.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// pop dequeues the oldest ready ULT, or nil if the pool is empty.
+func (p *Pool) pop() *ULT {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.q) == 0 {
+		return nil
+	}
+	u := p.q[0]
+	// Avoid retaining the popped ULT through the backing array.
+	copy(p.q, p.q[1:])
+	p.q[len(p.q)-1] = nil
+	p.q = p.q[:len(p.q)-1]
+	return u
+}
+
+// subscribe registers an XStream wake channel.
+func (p *Pool) subscribe(ch chan struct{}) {
+	p.mu.Lock()
+	p.subs = append(p.subs, ch)
+	p.mu.Unlock()
+}
+
+// Len reports the number of runnable ULTs currently queued.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.q)
+}
+
+// Blocked reports the number of ULTs created from this pool that are
+// currently parked on a blocking primitive. This is the counter sampled
+// for the paper's Figure 10 serialization study.
+func (p *Pool) Blocked() int64 { return p.blocked.Load() }
+
+// Created reports the lifetime number of ULTs created into the pool.
+func (p *Pool) Created() uint64 { return p.created.Load() }
+
+// Executed reports the lifetime number of ULTs that ran to completion.
+func (p *Pool) Executed() uint64 { return p.executed.Load() }
+
+// SizeHighWatermark reports the largest runnable-queue length observed.
+func (p *Pool) SizeHighWatermark() int64 { return p.sizeHWM.Load() }
+
+// Stats is a point-in-time snapshot of pool metrics.
+type Stats struct {
+	Runnable int
+	Blocked  int64
+	Created  uint64
+	Executed uint64
+	SizeHWM  int64
+}
+
+// Snapshot returns a consistent-enough view of the pool counters for
+// trace-event annotation.
+func (p *Pool) Snapshot() Stats {
+	return Stats{
+		Runnable: p.Len(),
+		Blocked:  p.Blocked(),
+		Created:  p.Created(),
+		Executed: p.Executed(),
+		SizeHWM:  p.SizeHighWatermark(),
+	}
+}

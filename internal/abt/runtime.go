@@ -1,0 +1,94 @@
+package abt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Runtime groups the pools and execution streams of one (virtual)
+// process, mirroring an ABT_init'd Argobots instance. It exists for
+// lifecycle management: services build their pool/stream topology through
+// it and tear everything down with Shutdown.
+type Runtime struct {
+	mu       sync.Mutex
+	pools    map[string]*Pool
+	xstreams []*XStream
+	stopped  bool
+}
+
+// NewRuntime returns an empty runtime.
+func NewRuntime() *Runtime {
+	return &Runtime{pools: make(map[string]*Pool)}
+}
+
+// AddPool creates a named pool. Pool names are unique within a runtime.
+func (r *Runtime) AddPool(name string) *Pool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.pools[name]; dup {
+		panic(fmt.Sprintf("abt: duplicate pool %q", name))
+	}
+	p := NewPool(name)
+	r.pools[name] = p
+	return p
+}
+
+// Pool returns the named pool, or nil.
+func (r *Runtime) Pool(name string) *Pool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pools[name]
+}
+
+// Pools returns a snapshot of all pools in the runtime.
+func (r *Runtime) Pools() []*Pool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Pool, 0, len(r.pools))
+	for _, p := range r.pools {
+		out = append(out, p)
+	}
+	return out
+}
+
+// AddXStreams starts n execution streams draining the given pools in
+// priority order and returns them.
+func (r *Runtime) AddXStreams(name string, n int, pools ...*Pool) []*XStream {
+	xs := make([]*XStream, n)
+	for i := range xs {
+		xs[i] = NewXStream(fmt.Sprintf("%s-%d", name, i), pools...)
+	}
+	r.mu.Lock()
+	r.xstreams = append(r.xstreams, xs...)
+	r.mu.Unlock()
+	return xs
+}
+
+// NumXStreams reports how many streams the runtime has started.
+func (r *Runtime) NumXStreams() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.xstreams)
+}
+
+// Shutdown stops all execution streams. Work still queued or parked is
+// abandoned; callers join their ULTs before shutting down.
+func (r *Runtime) Shutdown() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	xs := r.xstreams
+	r.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x *XStream) {
+			defer wg.Done()
+			x.Stop()
+		}(x)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,191 @@
+package abt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Func is the body of a user-level thread. The runtime passes the ULT's
+// own handle so the body can yield, block, and reach ULT-local storage.
+type Func func(self *ULT)
+
+// signal values sent from a ULT to the XStream hosting its quantum.
+type signal int8
+
+const (
+	sigYield signal = iota // ULT is ready again; push it back on its pool
+	sigBlock               // ULT parked on a primitive; a waker will requeue it
+	sigDone                // ULT terminated
+)
+
+// ULT is a user-level thread: a unit of cooperative work created into a
+// Pool and executed by XStreams. A ULT runs only while it holds the run
+// token granted by an XStream; Yield, blocking primitives, and
+// termination return the token.
+type ULT struct {
+	id   uint64
+	name string
+	fn   Func
+	pool *Pool
+
+	// resume grants the run token; notify returns it with a disposition.
+	// Both are buffered so token handoff never blocks the sender.
+	resume chan struct{}
+	notify chan signal
+
+	started  atomic.Bool
+	state    atomic.Int32
+	spawned  time.Time
+	firstRun time.Time
+
+	doneCh chan struct{}
+	panicV any
+
+	// locals is ULT-local storage, the analogue of ABT_key. It is only
+	// accessed from the ULT itself while running, so it needs no lock.
+	localMu sync.Mutex
+	locals  map[any]any
+
+	// joiners are ULTs parked in Join waiting for this ULT to finish.
+	joinMu  sync.Mutex
+	joiners []*ULT
+}
+
+// ID returns the runtime-unique identifier of the ULT.
+func (u *ULT) ID() uint64 { return u.id }
+
+// Name returns the debug name given at creation.
+func (u *ULT) Name() string { return u.name }
+
+// Pool returns the pool the ULT was created into (and returns to when it
+// yields or is woken).
+func (u *ULT) Pool() *Pool { return u.pool }
+
+// State reports the current lifecycle state.
+func (u *ULT) State() State { return State(u.state.Load()) }
+
+// SpawnTime returns the instant the ULT was created into its pool (the
+// paper's t4 for RPC handler ULTs).
+func (u *ULT) SpawnTime() time.Time { return u.spawned }
+
+// FirstRunTime returns the instant the ULT first began executing (t5).
+// It is zero until the ULT has run.
+func (u *ULT) FirstRunTime() time.Time { return u.firstRun }
+
+// Done returns a channel closed when the ULT terminates. It is safe to
+// wait on from plain goroutines.
+func (u *ULT) Done() <-chan struct{} { return u.doneCh }
+
+// Err returns a non-nil error if the ULT body panicked.
+func (u *ULT) Err() error {
+	select {
+	case <-u.doneCh:
+	default:
+		return nil
+	}
+	if u.panicV != nil {
+		return fmt.Errorf("abt: ULT %q panicked: %v", u.name, u.panicV)
+	}
+	return nil
+}
+
+// SetLocal stores a ULT-local value, the analogue of setting an ABT_key.
+func (u *ULT) SetLocal(key, val any) {
+	u.localMu.Lock()
+	if u.locals == nil {
+		u.locals = make(map[any]any)
+	}
+	u.locals[key] = val
+	u.localMu.Unlock()
+}
+
+// Local retrieves a ULT-local value previously stored with SetLocal.
+func (u *ULT) Local(key any) (any, bool) {
+	u.localMu.Lock()
+	defer u.localMu.Unlock()
+	v, ok := u.locals[key]
+	return v, ok
+}
+
+// Yield returns the run token to the hosting XStream and requeues the ULT
+// on its pool, letting equal-priority work run.
+func (u *ULT) Yield() {
+	u.state.Store(int32(StateReady))
+	u.notify <- sigYield
+	<-u.resume
+	u.state.Store(int32(StateRunning))
+}
+
+// park releases the XStream without requeueing; the caller must have
+// arranged for a waker to call u.ready() exactly once.
+func (u *ULT) park() {
+	u.state.Store(int32(StateBlocked))
+	u.notify <- sigBlock
+	<-u.resume
+	u.state.Store(int32(StateRunning))
+}
+
+// ready requeues a parked ULT. Called exactly once per park by the
+// primitive that woke it.
+func (u *ULT) ready() {
+	u.pool.blocked.Add(-1)
+	u.pool.push(u)
+}
+
+// main is the goroutine body backing the ULT. It waits for its first run
+// token, executes fn, and reports termination.
+func (u *ULT) main() {
+	<-u.resume
+	u.firstRun = time.Now()
+	u.state.Store(int32(StateRunning))
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				u.panicV = r
+			}
+		}()
+		u.fn(u)
+	}()
+	u.state.Store(int32(StateTerminated))
+	u.pool.executed.Add(1)
+	u.joinMu.Lock()
+	joiners := u.joiners
+	u.joiners = nil
+	close(u.doneCh)
+	u.joinMu.Unlock()
+	for _, j := range joiners {
+		j.ready()
+	}
+	u.notify <- sigDone
+}
+
+// Join blocks until u terminates. When called from inside another ULT,
+// self must be that ULT so the wait is cooperative (the XStream is
+// released); from a plain goroutine pass self == nil.
+func (u *ULT) Join(self *ULT) error {
+	if self == nil {
+		<-u.doneCh
+		return u.Err()
+	}
+	u.joinMu.Lock()
+	select {
+	case <-u.doneCh:
+		u.joinMu.Unlock()
+		return u.Err()
+	default:
+	}
+	u.joiners = append(u.joiners, self)
+	self.pool.blocked.Add(1)
+	u.joinMu.Unlock()
+	self.park()
+	return u.Err()
+}
+
+// Sleep parks the ULT for at least d, releasing its XStream meanwhile.
+func (u *ULT) Sleep(d time.Duration) {
+	u.pool.blocked.Add(1)
+	time.AfterFunc(d, u.ready)
+	u.park()
+}

@@ -1,0 +1,133 @@
+package abt
+
+import (
+	"sync/atomic"
+)
+
+// XStream is an execution stream, the analogue of an ABT_xstream: a
+// scheduler that repeatedly dequeues ULTs from its pools (in priority
+// order) and runs each until it yields, blocks, or terminates. An
+// XStream executes at most one ULT at a time.
+type XStream struct {
+	id    int
+	name  string
+	pools []*Pool
+
+	wake chan struct{}
+	quit chan struct{}
+	done chan struct{}
+
+	idle    atomic.Bool
+	quanta  atomic.Uint64 // scheduling quanta executed
+	current atomic.Pointer[ULT]
+}
+
+var xstreamIDs atomic.Int64
+
+// NewXStream creates and starts an execution stream draining the given
+// pools in order (earlier pools have priority). At least one pool is
+// required.
+func NewXStream(name string, pools ...*Pool) *XStream {
+	if len(pools) == 0 {
+		panic("abt: NewXStream requires at least one pool")
+	}
+	x := &XStream{
+		id:    int(xstreamIDs.Add(1)),
+		name:  name,
+		pools: pools,
+		wake:  make(chan struct{}, 1),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	for _, p := range pools {
+		p.subscribe(x.wake)
+	}
+	go x.loop()
+	return x
+}
+
+// ID returns the runtime-unique stream identifier.
+func (x *XStream) ID() int { return x.id }
+
+// Name returns the stream's debug name.
+func (x *XStream) Name() string { return x.name }
+
+// Idle reports whether the stream is currently waiting for work.
+func (x *XStream) Idle() bool { return x.idle.Load() }
+
+// Quanta reports the number of scheduling quanta the stream has run.
+func (x *XStream) Quanta() uint64 { return x.quanta.Load() }
+
+// Current returns the ULT occupying the stream, or nil when idle.
+func (x *XStream) Current() *ULT { return x.current.Load() }
+
+// Stop asks the stream to exit once it goes idle and waits for it.
+// Ready ULTs still queued in its pools are left for other streams.
+func (x *XStream) Stop() {
+	close(x.quit)
+	// A stream blocked hosting a ULT quantum exits after that quantum.
+	select {
+	case x.wake <- struct{}{}:
+	default:
+	}
+	<-x.done
+}
+
+func (x *XStream) loop() {
+	defer close(x.done)
+	for {
+		u := x.popAny()
+		if u == nil {
+			x.idle.Store(true)
+			select {
+			case <-x.wake:
+				x.idle.Store(false)
+				continue
+			case <-x.quit:
+				return
+			}
+		}
+		x.runQuantum(u)
+		select {
+		case <-x.quit:
+			return
+		default:
+		}
+	}
+}
+
+// popAny tries the stream's pools in priority order.
+func (x *XStream) popAny() *ULT {
+	for _, p := range x.pools {
+		if u := p.pop(); u != nil {
+			return u
+		}
+	}
+	return nil
+}
+
+// runQuantum grants the run token to u and processes its disposition.
+//
+// Concurrency note: when a ULT parks, its waker may requeue it before
+// this stream has consumed the sigBlock, so another stream can begin the
+// next quantum concurrently and two streams briefly wait on u.notify.
+// That is benign because dispositions are context-free — whichever
+// stream receives a given signal performs the same action (requeue on
+// yield, nothing on block/done) — and token/notify counts always
+// balance: every resume grant is followed by exactly one notify.
+func (x *XStream) runQuantum(u *ULT) {
+	x.current.Store(u)
+	x.quanta.Add(1)
+	if u.started.CompareAndSwap(false, true) {
+		go u.main()
+	}
+	u.resume <- struct{}{}
+	sig := <-u.notify
+	x.current.Store(nil)
+	switch sig {
+	case sigYield:
+		u.pool.push(u)
+	case sigBlock, sigDone:
+		// Parked ULTs are requeued by their waker; done ULTs are gone.
+	}
+}

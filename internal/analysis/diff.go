@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"symbiosys/internal/core"
+)
+
+// ProfileDelta compares one callpath between two runs ("before" and
+// "after") — the request-flow-comparison workflow for diagnosing
+// performance changes between service configurations (the analysis the
+// paper's §V-C performs by hand across C1…C7).
+type ProfileDelta struct {
+	BC   core.Breadcrumb
+	Name string
+
+	CountBefore, CountAfter uint64
+	MeanBefore, MeanAfter   time.Duration
+
+	// MeanRatio is after/before mean latency (1.0 = unchanged; absent
+	// sides yield 0 or +Inf semantics are avoided — see New/Gone).
+	MeanRatio float64
+
+	// New marks callpaths present only after; Gone only before —
+	// structural anomalies in the request flow.
+	New  bool
+	Gone bool
+
+	// ComponentDeltas holds per-component mean-time changes
+	// (after - before), nanoseconds per call.
+	ComponentDeltas [core.NumComponents]int64
+}
+
+// CompareProfiles diffs two merged profiles by callpath, ranking results
+// by absolute change in mean latency (structural changes first).
+func CompareProfiles(before, after *MergedProfile) []ProfileDelta {
+	rowsB := make(map[core.Breadcrumb]CallpathRow)
+	for _, r := range before.DominantCallpaths(0) {
+		rowsB[r.BC] = r
+	}
+	rowsA := make(map[core.Breadcrumb]CallpathRow)
+	for _, r := range after.DominantCallpaths(0) {
+		rowsA[r.BC] = r
+	}
+
+	names := make(map[uint16]string)
+	for h, n := range before.Names {
+		names[h] = n
+	}
+	for h, n := range after.Names {
+		names[h] = n
+	}
+
+	seen := make(map[core.Breadcrumb]bool)
+	var deltas []ProfileDelta
+	add := func(bc core.Breadcrumb) {
+		if seen[bc] {
+			return
+		}
+		seen[bc] = true
+		b, hasB := rowsB[bc]
+		a, hasA := rowsA[bc]
+		d := ProfileDelta{
+			BC:   bc,
+			Name: core.FormatTable(names, bc),
+			New:  !hasB && hasA,
+			Gone: hasB && !hasA,
+		}
+		if hasB {
+			d.CountBefore = b.Count
+			d.MeanBefore = b.Mean()
+		}
+		if hasA {
+			d.CountAfter = a.Count
+			d.MeanAfter = a.Mean()
+		}
+		if hasB && hasA && d.MeanBefore > 0 {
+			d.MeanRatio = float64(d.MeanAfter) / float64(d.MeanBefore)
+		}
+		for i := range d.ComponentDeltas {
+			var mb, ma int64
+			if hasB && b.Count > 0 {
+				mb = int64(b.Components[i] / b.Count)
+			}
+			if hasA && a.Count > 0 {
+				ma = int64(a.Components[i] / a.Count)
+			}
+			d.ComponentDeltas[i] = ma - mb
+		}
+		deltas = append(deltas, d)
+	}
+	for bc := range rowsB {
+		add(bc)
+	}
+	for bc := range rowsA {
+		add(bc)
+	}
+
+	sort.Slice(deltas, func(i, j int) bool {
+		// Structural changes first, then by |mean delta|.
+		si := deltas[i].New || deltas[i].Gone
+		sj := deltas[j].New || deltas[j].Gone
+		if si != sj {
+			return si
+		}
+		di := absDur(deltas[i].MeanAfter - deltas[i].MeanBefore)
+		dj := absDur(deltas[j].MeanAfter - deltas[j].MeanBefore)
+		if di != dj {
+			return di > dj
+		}
+		return deltas[i].BC < deltas[j].BC
+	})
+	return deltas
+}
+
+func absDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// RenderDiff writes the comparison report, top n rows (n <= 0: all).
+func RenderDiff(w io.Writer, deltas []ProfileDelta, n int) {
+	if n > 0 && len(deltas) > n {
+		deltas = deltas[:n]
+	}
+	fmt.Fprintf(w, "SYMBIOSYS profile comparison — %d callpaths\n", len(deltas))
+	for _, d := range deltas {
+		switch {
+		case d.New:
+			fmt.Fprintf(w, "\n[NEW]  %s\n       after: calls %d  mean %v\n",
+				d.Name, d.CountAfter, d.MeanAfter.Round(time.Microsecond))
+		case d.Gone:
+			fmt.Fprintf(w, "\n[GONE] %s\n       before: calls %d  mean %v\n",
+				d.Name, d.CountBefore, d.MeanBefore.Round(time.Microsecond))
+		default:
+			fmt.Fprintf(w, "\n[%+.2fx] %s\n", d.MeanRatio, d.Name)
+			fmt.Fprintf(w, "       mean %v -> %v   calls %d -> %d\n",
+				d.MeanBefore.Round(time.Microsecond), d.MeanAfter.Round(time.Microsecond),
+				d.CountBefore, d.CountAfter)
+			// Name the component with the biggest per-call movement.
+			var worst core.Component
+			var worstAbs int64 = -1
+			for i, cd := range d.ComponentDeltas {
+				v := cd
+				if v < 0 {
+					v = -v
+				}
+				if v > worstAbs {
+					worstAbs = v
+					worst = core.Component(i)
+				}
+			}
+			if worstAbs > 0 {
+				fmt.Fprintf(w, "       biggest mover: %s %+v/call\n",
+					worst.Name(), time.Duration(d.ComponentDeltas[worst]).Round(time.Microsecond))
+			}
+		}
+	}
+}

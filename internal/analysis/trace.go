@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"symbiosys/internal/core"
+)
+
+// TraceSet is the merged view over all per-process trace dumps.
+type TraceSet struct {
+	Events  []core.Event
+	Dropped uint64
+}
+
+// MergeTraces combines trace dumps from every process.
+func MergeTraces(dumps []*core.TraceDump) *TraceSet {
+	ts := &TraceSet{}
+	for _, d := range dumps {
+		ts.Events = append(ts.Events, d.Events...)
+		ts.Dropped += d.Dropped
+	}
+	return ts
+}
+
+// Requests groups events by request ID, each group sorted by Lamport
+// order (the clock-skew-tolerant ordering of the paper §IV-A2).
+func (ts *TraceSet) Requests() map[uint64][]core.Event {
+	out := make(map[uint64][]core.Event)
+	for _, e := range ts.Events {
+		out[e.RequestID] = append(out[e.RequestID], e)
+	}
+	for id := range out {
+		evs := out[id]
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Order < evs[j].Order })
+		out[id] = evs
+	}
+	return out
+}
+
+// RequestIDs returns all request IDs, sorted.
+func (ts *TraceSet) RequestIDs() []uint64 {
+	seen := make(map[uint64]bool)
+	var ids []uint64
+	for _, e := range ts.Events {
+		if !seen[e.RequestID] {
+			seen[e.RequestID] = true
+			ids = append(ids, e.RequestID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Span is one reconstructed call interval within a distributed request.
+type Span struct {
+	RequestID  uint64
+	Breadcrumb core.Breadcrumb
+	RPCName    string
+	Entity     string
+	Kind       string // "CLIENT" (origin view) or "SERVER" (target view)
+	StartNanos int64
+	DurNanos   int64
+	StartOrder uint64
+	Sys        core.SysSample
+	PVars      *core.PVarSample
+}
+
+// Spans reconstructs the call intervals of one request. Prefer
+// SpansOf with pre-grouped events when iterating many requests.
+func (ts *TraceSet) Spans(requestID uint64) []Span {
+	var evs []core.Event
+	for _, e := range ts.Events {
+		if e.RequestID == requestID {
+			evs = append(evs, e)
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Order < evs[j].Order })
+	return SpansOf(requestID, evs)
+}
+
+// SpansOf reconstructs the call intervals of one request from its
+// Lamport-ordered events by pairing start and end events per (entity,
+// breadcrumb, side): each end event closes the oldest unmatched start
+// (calls from one ULT are sequential, so FIFO pairing is exact there
+// and a close approximation for concurrent same-callpath calls).
+func SpansOf(requestID uint64, evs []core.Event) []Span {
+	type pairKey struct {
+		entity string
+		bc     core.Breadcrumb
+		client bool
+	}
+	open := make(map[pairKey][]core.Event)
+	var spans []Span
+	for _, e := range evs {
+		switch e.Kind {
+		case core.EvOriginStart, core.EvTargetStart:
+			k := pairKey{e.Entity, core.Breadcrumb(e.Breadcrumb), e.Kind == core.EvOriginStart}
+			open[k] = append(open[k], e)
+		case core.EvOriginEnd, core.EvTargetEnd:
+			k := pairKey{e.Entity, core.Breadcrumb(e.Breadcrumb), e.Kind == core.EvOriginEnd}
+			q := open[k]
+			if len(q) == 0 {
+				continue // unmatched end (dropped start)
+			}
+			start := q[0]
+			open[k] = q[1:]
+			kind := "SERVER"
+			if e.Kind == core.EvOriginEnd {
+				kind = "CLIENT"
+			}
+			dur := e.Duration
+			if dur == 0 {
+				dur = e.Timestamp - start.Timestamp
+			}
+			spans = append(spans, Span{
+				RequestID:  requestID,
+				Breadcrumb: core.Breadcrumb(e.Breadcrumb),
+				RPCName:    e.RPCName,
+				Entity:     e.Entity,
+				Kind:       kind,
+				StartNanos: start.Timestamp,
+				DurNanos:   dur,
+				StartOrder: start.Order,
+				Sys:        e.Sys,
+				PVars:      e.PVars,
+			})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].StartOrder < spans[j].StartOrder })
+	return spans
+}
+
+// ZipkinSpan is the Zipkin v2 JSON span format the paper's adapter
+// module emits for visualization (§V-A3).
+type ZipkinSpan struct {
+	TraceID       string            `json:"traceId"`
+	ID            string            `json:"id"`
+	ParentID      string            `json:"parentId,omitempty"`
+	Name          string            `json:"name"`
+	Kind          string            `json:"kind,omitempty"`
+	Timestamp     int64             `json:"timestamp"` // microseconds
+	Duration      int64             `json:"duration"`  // microseconds
+	LocalEndpoint map[string]string `json:"localEndpoint"`
+	Tags          map[string]string `json:"tags,omitempty"`
+}
+
+// Zipkin converts one request's spans to Zipkin v2 JSON objects. Client
+// spans parent the server spans of the same hop; nested hops parent on
+// the client span of their caller, so the service structure renders as
+// the Figure 5 Gantt chart.
+func (ts *TraceSet) Zipkin(requestID uint64) []ZipkinSpan {
+	spans := ts.Spans(requestID)
+	traceID := fmt.Sprintf("%016x", requestID)
+
+	// Assign IDs and remember the client span per breadcrumb (for
+	// parenting); with repeated same-breadcrumb calls the k-th server
+	// span pairs with the k-th client span.
+	ids := make([]string, len(spans))
+	clientSeen := make(map[core.Breadcrumb][]int)
+	for i, s := range spans {
+		ids[i] = fmt.Sprintf("%016x", spanIDHash(requestID, uint64(s.Breadcrumb), uint64(i)))
+		if s.Kind == "CLIENT" {
+			clientSeen[s.Breadcrumb] = append(clientSeen[s.Breadcrumb], i)
+		}
+	}
+	parentOf := func(i int) string {
+		s := spans[i]
+		if s.Kind == "SERVER" {
+			// Parent on the matching client span of the same hop.
+			if idxs := clientSeen[s.Breadcrumb]; len(idxs) > 0 {
+				best := idxs[0]
+				for _, j := range idxs {
+					if spans[j].StartOrder <= s.StartOrder {
+						best = j
+					}
+				}
+				return ids[best]
+			}
+			return ""
+		}
+		// Client span: parent on its caller's client span (the parent
+		// breadcrumb), picking the most recent one issued before it.
+		parentBC := s.Breadcrumb.Parent()
+		if parentBC == 0 {
+			return ""
+		}
+		if idxs := clientSeen[parentBC]; len(idxs) > 0 {
+			best := -1
+			for _, j := range idxs {
+				if spans[j].StartOrder <= s.StartOrder {
+					best = j
+				}
+			}
+			if best >= 0 {
+				return ids[best]
+			}
+		}
+		return ""
+	}
+
+	out := make([]ZipkinSpan, 0, len(spans))
+	for i, s := range spans {
+		z := ZipkinSpan{
+			TraceID:       traceID,
+			ID:            ids[i],
+			ParentID:      parentOf(i),
+			Name:          s.RPCName,
+			Kind:          s.Kind,
+			Timestamp:     s.StartNanos / 1000,
+			Duration:      s.DurNanos / 1000,
+			LocalEndpoint: map[string]string{"serviceName": s.Entity},
+			Tags: map[string]string{
+				"breadcrumb":   s.Breadcrumb.String(),
+				"pool_blocked": fmt.Sprint(s.Sys.PoolBlocked),
+			},
+		}
+		if s.PVars != nil {
+			z.Tags["ofi_events_read"] = fmt.Sprint(s.PVars.OFIEventsRead)
+		}
+		out = append(out, z)
+	}
+	return out
+}
+
+// WriteZipkin writes one request's trace as a Zipkin v2 JSON array.
+func (ts *TraceSet) WriteZipkin(w io.Writer, requestID uint64) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ts.Zipkin(requestID))
+}
+
+func spanIDHash(a, b, c uint64) uint64 {
+	v := a*0x9e3779b97f4a7c15 ^ b*0xff51afd7ed558ccd ^ c*0xc4ceb9fe1a85ec53
+	v ^= v >> 31
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// BlockedSample is one point of the Figure 10 scatter: when a request
+// began executing on a target and how many ULTs were blocked there.
+type BlockedSample struct {
+	TimestampNanos int64
+	Blocked        int64
+	Runnable       int64
+	Entity         string
+}
+
+// BlockedULTSeries extracts the Figure 10 scatter for one RPC name from
+// target-start events (the t5 sample of the Argobots pool).
+func (ts *TraceSet) BlockedULTSeries(rpcName string) []BlockedSample {
+	var out []BlockedSample
+	for _, e := range ts.Events {
+		if e.Kind == core.EvTargetStart && (rpcName == "" || e.RPCName == rpcName) {
+			out = append(out, BlockedSample{
+				TimestampNanos: e.Timestamp,
+				Blocked:        e.Sys.PoolBlocked,
+				Runnable:       e.Sys.PoolRunnable,
+				Entity:         e.Entity,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TimestampNanos < out[j].TimestampNanos })
+	return out
+}
+
+// OFISample is one point of the Figure 12 series: the number of OFI
+// completion events read by the progress loop, sampled at t14.
+type OFISample struct {
+	TimestampNanos int64
+	EventsRead     uint64
+	Entity         string
+}
+
+// OFIEventsReadSeries extracts the Figure 12 series from origin-end
+// events (entity == "" selects all origins).
+func (ts *TraceSet) OFIEventsReadSeries(entity string) []OFISample {
+	var out []OFISample
+	for _, e := range ts.Events {
+		if e.Kind != core.EvOriginEnd || e.PVars == nil {
+			continue
+		}
+		if entity != "" && e.Entity != entity {
+			continue
+		}
+		out = append(out, OFISample{
+			TimestampNanos: e.Timestamp,
+			EventsRead:     e.PVars.OFIEventsRead,
+			Entity:         e.Entity,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TimestampNanos < out[j].TimestampNanos })
+	return out
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"time"
+
+	"symbiosys/internal/core"
+)
+
+// UnaccountedReport decomposes a callpath's cumulative origin execution
+// time into the instrumented components plus the nominal network
+// transfer, exposing the *unaccounted* residual of the paper's
+// Figure 11. In the paper that residual is dominated by completion
+// events sitting unread in the OFI queue (the t11→t12 gap), which no
+// RPC-API- or RPC-library-level timer covers.
+type UnaccountedReport struct {
+	BC    core.Breadcrumb
+	Name  string
+	Count uint64
+
+	// Cumulative nanoseconds.
+	OriginExec uint64
+	Accounted  uint64
+	Network    uint64
+	Unaccount  uint64
+
+	Components [core.NumComponents]uint64
+}
+
+// UnaccountedFraction returns the residual share of origin execution.
+func (r *UnaccountedReport) UnaccountedFraction() float64 {
+	if r.OriginExec == 0 {
+		return 0
+	}
+	return float64(r.Unaccount) / float64(r.OriginExec)
+}
+
+// Unaccounted computes the report for one callpath. nominalRTT is the
+// fabric's request+response transfer estimate charged per call.
+func (m *MergedProfile) Unaccounted(bc core.Breadcrumb, nominalRTT time.Duration) UnaccountedReport {
+	rep := UnaccountedReport{BC: bc, Name: core.FormatTable(m.Names, bc)}
+	for key, s := range m.Origin {
+		if key.BC != bc {
+			continue
+		}
+		rep.Count += s.Count
+		rep.OriginExec += s.Components[core.CompOriginExec]
+		rep.Components[core.CompInputSer] += s.Components[core.CompInputSer]
+		rep.Components[core.CompOriginCB] += s.Components[core.CompOriginCB]
+	}
+	for key, s := range m.Target {
+		if key.BC != bc {
+			continue
+		}
+		for _, c := range []core.Component{
+			core.CompRDMA, core.CompHandler, core.CompInputDeser,
+			core.CompTargetExec, core.CompOutputSer, core.CompTargetCB,
+		} {
+			rep.Components[c] += s.Components[c]
+		}
+	}
+	// Input deserialization and output serialization happen inside the
+	// target ULT execution interval, so they are not added again.
+	rep.Accounted = rep.Components[core.CompInputSer] +
+		rep.Components[core.CompRDMA] +
+		rep.Components[core.CompHandler] +
+		rep.Components[core.CompTargetExec] +
+		rep.Components[core.CompTargetCB] +
+		rep.Components[core.CompOriginCB]
+	rep.Network = uint64(nominalRTT) * rep.Count
+	if total := rep.Accounted + rep.Network; total < rep.OriginExec {
+		rep.Unaccount = rep.OriginExec - total
+	}
+	return rep
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ProfileDump is the serialized per-process callpath profile, the unit
+// the SYMBIOSYS profile summary script ingests (one per process in the
+// paper; the analysis package merges them globally).
+type ProfileDump struct {
+	Entity  string            `json:"entity"`
+	PID     uint32            `json:"pid"`
+	Stage   string            `json:"stage"`
+	Started time.Time         `json:"started"`
+	Names   map[uint16]string `json:"names"`
+	Origin  []DumpEntry       `json:"origin"`
+	Target  []DumpEntry       `json:"target"`
+}
+
+// DumpEntry is one (callpath, peer) row of a profile dump.
+type DumpEntry struct {
+	BC    uint64    `json:"breadcrumb"`
+	Peer  string    `json:"peer"`
+	Stats CallStats `json:"stats"`
+}
+
+func (e *DumpEntry) less(o *DumpEntry) bool {
+	if e.BC != o.BC {
+		return e.BC < o.BC
+	}
+	return e.Peer < o.Peer
+}
+
+// WriteProfile serializes a dump as JSON.
+func WriteProfile(w io.Writer, d *ProfileDump) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(d)
+}
+
+// ReadProfile parses one JSON profile dump.
+func ReadProfile(r io.Reader) (*ProfileDump, error) {
+	var d ProfileDump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("core: parse profile dump: %w", err)
+	}
+	return &d, nil
+}
+
+// TraceDump is the serialized per-process trace buffer.
+type TraceDump struct {
+	Entity  string  `json:"entity"`
+	PID     uint32  `json:"pid"`
+	Dropped uint64  `json:"dropped"`
+	Events  []Event `json:"events"`
+}
+
+// DumpTrace captures a profiler's trace buffer for offline analysis.
+func (p *Profiler) DumpTrace() *TraceDump {
+	return &TraceDump{
+		Entity:  p.entity,
+		PID:     p.pid,
+		Dropped: p.tracer.Dropped(),
+		Events:  p.tracer.Events(),
+	}
+}
+
+// WriteTrace serializes a trace dump as JSON.
+func WriteTrace(w io.Writer, d *TraceDump) error {
+	return json.NewEncoder(w).Encode(d)
+}
+
+// ReadTrace parses one JSON trace dump.
+func ReadTrace(r io.Reader) (*TraceDump, error) {
+	var d TraceDump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("core: parse trace dump: %w", err)
+	}
+	return &d, nil
+}

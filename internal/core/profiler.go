@@ -1,0 +1,327 @@
+package core
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Lamport is a logical clock (Lamport's algorithm, paper §IV-A2) used to
+// order trace events across processes despite clock skew.
+type Lamport struct{ c atomic.Uint64 }
+
+// Tick advances the clock for a local event and returns the new value.
+func (l *Lamport) Tick() uint64 { return l.c.Add(1) }
+
+// Merge folds in a counter received with a message and returns the
+// clock's new value: max(local, remote) + 1.
+func (l *Lamport) Merge(remote uint64) uint64 {
+	for {
+		cur := l.c.Load()
+		next := cur + 1
+		if remote >= cur {
+			next = remote + 1
+		}
+		if l.c.CompareAndSwap(cur, next) {
+			return next
+		}
+	}
+}
+
+// Now reads the clock without advancing it.
+func (l *Lamport) Now() uint64 { return l.c.Load() }
+
+// StatKey identifies one profiled (callpath, peer) pair. On the origin
+// side Peer is the target address; on the target side it is the origin
+// address — giving the per-origin / per-target call distributions of the
+// paper's profile summary (§V-A2).
+type StatKey struct {
+	BC   Breadcrumb
+	Peer string
+}
+
+// HistBuckets is the number of log2 latency buckets per callpath:
+// bucket i counts calls with latency in [2^i, 2^(i+1)) nanoseconds,
+// covering sub-microsecond through ~hours.
+const HistBuckets = 44
+
+// CallStats accumulates timing for one StatKey, including the call-time
+// distribution the paper's question 1 asks for.
+type CallStats struct {
+	Count      uint64
+	CumNanos   uint64
+	MinNanos   uint64
+	MaxNanos   uint64
+	Components [NumComponents]uint64
+	Hist       [HistBuckets]uint32 `json:"Hist,omitempty"`
+}
+
+// histBucket maps a latency to its log2 bucket.
+func histBucket(n uint64) int {
+	b := bits.Len64(n)
+	if b > 0 {
+		b--
+	}
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// record folds one call into the stats. total is the side's primary
+// interval (origin execution time or target execution time).
+func (s *CallStats) record(total time.Duration, comps *[NumComponents]uint64) {
+	n := uint64(total)
+	s.Count++
+	s.CumNanos += n
+	if s.Count == 1 || n < s.MinNanos {
+		s.MinNanos = n
+	}
+	if n > s.MaxNanos {
+		s.MaxNanos = n
+	}
+	s.Hist[histBucket(n)]++
+	if comps != nil {
+		for i, v := range comps {
+			s.Components[i] += v
+		}
+	}
+}
+
+// Merge folds other into s (used by offline profile aggregation).
+func (s *CallStats) Merge(other *CallStats) {
+	if other.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		*s = *other
+		return
+	}
+	s.Count += other.Count
+	s.CumNanos += other.CumNanos
+	if other.MinNanos < s.MinNanos {
+		s.MinNanos = other.MinNanos
+	}
+	if other.MaxNanos > s.MaxNanos {
+		s.MaxNanos = other.MaxNanos
+	}
+	for i := range s.Components {
+		s.Components[i] += other.Components[i]
+	}
+	for i := range s.Hist {
+		s.Hist[i] += other.Hist[i]
+	}
+}
+
+// Mean returns the average call latency.
+func (s *CallStats) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.CumNanos / s.Count)
+}
+
+// Percentile estimates the p-th percentile latency (0 < p <= 100) from
+// the log2 histogram, interpolating linearly within the bucket.
+func (s *CallStats) Percentile(p float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return time.Duration(s.MinNanos)
+	}
+	if p >= 100 {
+		return time.Duration(s.MaxNanos)
+	}
+	target := p / 100 * float64(s.Count)
+	var seen float64
+	for i, c := range s.Hist {
+		if c == 0 {
+			continue
+		}
+		next := seen + float64(c)
+		if next >= target {
+			lo := uint64(1) << i
+			hi := lo << 1
+			frac := (target - seen) / float64(c)
+			est := float64(lo) + frac*float64(hi-lo)
+			// Clamp into the observed range.
+			if est < float64(s.MinNanos) {
+				est = float64(s.MinNanos)
+			}
+			if est > float64(s.MaxNanos) {
+				est = float64(s.MaxNanos)
+			}
+			return time.Duration(est)
+		}
+		seen = next
+	}
+	return time.Duration(s.MaxNanos)
+}
+
+// Profiler is the per-process SYMBIOSYS measurement state: it owns the
+// process identity, the measurement stage, the Lamport clock, request ID
+// allocation, the callpath profile maps, and the tracer.
+type Profiler struct {
+	entity string
+	pid    uint32
+	stage  atomic.Int32
+
+	Clock  Lamport
+	reqSeq atomic.Uint32
+
+	names *NameRegistry
+
+	// skew simulates this process's wall-clock offset from true time
+	// (nanoseconds). Trace-event timestamps are stamped with it, which
+	// is why cross-process ordering relies on the Lamport clock rather
+	// than timestamps (paper §IV-A2).
+	skew atomic.Int64
+
+	mu     sync.Mutex
+	origin map[StatKey]*CallStats
+	target map[StatKey]*CallStats
+
+	tracer *Tracer
+
+	start time.Time
+}
+
+var pidSeq atomic.Uint32
+
+// NewProfiler creates the measurement state for one (virtual) process.
+// entity is the process's fabric address.
+func NewProfiler(entity string, stage Stage) *Profiler {
+	p := &Profiler{
+		entity: entity,
+		pid:    pidSeq.Add(1),
+		names:  NewNameRegistry(),
+		origin: make(map[StatKey]*CallStats),
+		target: make(map[StatKey]*CallStats),
+		tracer: NewTracer(DefaultTraceCapacity),
+		start:  time.Now(),
+	}
+	p.stage.Store(int32(stage))
+	return p
+}
+
+// Entity returns the process address the profiler describes.
+func (p *Profiler) Entity() string { return p.entity }
+
+// PID returns the process's numeric id (the high half of request IDs).
+func (p *Profiler) PID() uint32 { return p.pid }
+
+// Stage returns the active measurement stage.
+func (p *Profiler) Stage() Stage { return Stage(p.stage.Load()) }
+
+// SetStage switches the measurement stage at runtime.
+func (p *Profiler) SetStage(s Stage) { p.stage.Store(int32(s)) }
+
+// Names returns the process's hop-hash name registry.
+func (p *Profiler) Names() *NameRegistry { return p.names }
+
+// Tracer returns the process's trace buffer.
+func (p *Profiler) Tracer() *Tracer { return p.tracer }
+
+// SetTraceCapacity replaces the trace buffer with one retaining up to n
+// events. Call before any events are emitted.
+func (p *Profiler) SetTraceCapacity(n int) { p.tracer = NewTracer(n) }
+
+// SetClockSkew sets the simulated wall-clock offset of this process.
+func (p *Profiler) SetClockSkew(d time.Duration) { p.skew.Store(int64(d)) }
+
+// ClockSkew returns the simulated wall-clock offset.
+func (p *Profiler) ClockSkew() time.Duration { return time.Duration(p.skew.Load()) }
+
+// StampNanos converts a true instant into this process's (possibly
+// skewed) wall-clock nanoseconds for trace-event timestamps.
+func (p *Profiler) StampNanos(t time.Time) int64 {
+	return t.UnixNano() + p.skew.Load()
+}
+
+// NewRequestID allocates a globally unique request ID: pid<<32 | seq
+// (paper §IV-A2; end-clients call this at the root of each operation).
+func (p *Profiler) NewRequestID() uint64 {
+	return uint64(p.pid)<<32 | uint64(p.reqSeq.Add(1))
+}
+
+// RecordOrigin folds one completed RPC into the origin-side profile.
+// total is the origin execution time (t1→t14); comps carries whichever
+// components the origin measured.
+func (p *Profiler) RecordOrigin(bc Breadcrumb, target string, total time.Duration, comps *[NumComponents]uint64) {
+	if !p.Stage().Measures() {
+		return
+	}
+	key := StatKey{BC: bc, Peer: target}
+	p.mu.Lock()
+	s := p.origin[key]
+	if s == nil {
+		s = &CallStats{}
+		p.origin[key] = s
+	}
+	s.record(total, comps)
+	p.mu.Unlock()
+}
+
+// RecordTarget folds one serviced RPC into the target-side profile.
+// total is the target ULT execution time (t5→t8).
+func (p *Profiler) RecordTarget(bc Breadcrumb, origin string, total time.Duration, comps *[NumComponents]uint64) {
+	if !p.Stage().Measures() {
+		return
+	}
+	key := StatKey{BC: bc, Peer: origin}
+	p.mu.Lock()
+	s := p.target[key]
+	if s == nil {
+		s = &CallStats{}
+		p.target[key] = s
+	}
+	s.record(total, comps)
+	p.mu.Unlock()
+}
+
+// OriginStats returns a deep copy of the origin-side profile.
+func (p *Profiler) OriginStats() map[StatKey]CallStats { return p.copyStats(true) }
+
+// TargetStats returns a deep copy of the target-side profile.
+func (p *Profiler) TargetStats() map[StatKey]CallStats { return p.copyStats(false) }
+
+func (p *Profiler) copyStats(origin bool) map[StatKey]CallStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	src := p.target
+	if origin {
+		src = p.origin
+	}
+	out := make(map[StatKey]CallStats, len(src))
+	for k, v := range src {
+		out[k] = *v
+	}
+	return out
+}
+
+// Dump serializes the profiler state for offline analysis.
+func (p *Profiler) Dump() *ProfileDump {
+	d := &ProfileDump{
+		Entity:  p.entity,
+		PID:     p.pid,
+		Stage:   p.Stage().String(),
+		Started: p.start,
+		Names:   p.names.Names(),
+		Origin:  make([]DumpEntry, 0),
+		Target:  make([]DumpEntry, 0),
+	}
+	p.mu.Lock()
+	for k, v := range p.origin {
+		d.Origin = append(d.Origin, DumpEntry{BC: uint64(k.BC), Peer: k.Peer, Stats: *v})
+	}
+	for k, v := range p.target {
+		d.Target = append(d.Target, DumpEntry{BC: uint64(k.BC), Peer: k.Peer, Stats: *v})
+	}
+	p.mu.Unlock()
+	sort.Slice(d.Origin, func(i, j int) bool { return d.Origin[i].less(&d.Origin[j]) })
+	sort.Slice(d.Target, func(i, j int) bool { return d.Target[i].less(&d.Target[j]) })
+	return d
+}

@@ -1,0 +1,47 @@
+package core
+
+import "fmt"
+
+// Stage selects how much of the SYMBIOSYS machinery is active, matching
+// the overhead study of the paper (§VI-B, Figure 13).
+type Stage int32
+
+// Measurement stages.
+const (
+	// StageOff is the baseline: no metadata injected, nothing measured.
+	StageOff Stage = iota
+	// StageInject adds RPC callpath and trace ID information to the RPC
+	// request but makes no measurements (the paper's Stage 1).
+	StageInject
+	// StageProfile enables callpath profiling, tracing, and system
+	// statistic sampling, but not Mercury PVAR collection (Stage 2).
+	StageProfile
+	// StageFull additionally samples Mercury PVARs and fuses them into
+	// the callpath profiles and traces on the fly (Full Support).
+	StageFull
+)
+
+// String names the stage as in the paper.
+func (s Stage) String() string {
+	switch s {
+	case StageOff:
+		return "Baseline"
+	case StageInject:
+		return "Stage 1"
+	case StageProfile:
+		return "Stage 2"
+	case StageFull:
+		return "Full Support"
+	default:
+		return fmt.Sprintf("Stage(%d)", int32(s))
+	}
+}
+
+// Injects reports whether request metadata is added at this stage.
+func (s Stage) Injects() bool { return s >= StageInject }
+
+// Measures reports whether profiles/traces are recorded at this stage.
+func (s Stage) Measures() bool { return s >= StageProfile }
+
+// SamplesPVars reports whether Mercury PVARs are collected.
+func (s Stage) SamplesPVars() bool { return s >= StageFull }

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultTraceCapacity bounds the per-process trace buffer; beyond it
+// events are counted as dropped rather than grown without bound.
+const DefaultTraceCapacity = 1 << 20
+
+// EventKind marks which timeline point a trace event was generated at.
+// Tracing emits events at t1 and t14 on the origin and t5 and t8 on the
+// target (paper §IV-A2).
+type EventKind int8
+
+// Trace event kinds.
+const (
+	// EvOriginStart is t1: the origin issues the RPC.
+	EvOriginStart EventKind = iota
+	// EvTargetStart is t5: the handler ULT begins executing.
+	EvTargetStart
+	// EvTargetEnd is t8: the handler issues its response.
+	EvTargetEnd
+	// EvOriginEnd is t14: the origin completion callback runs.
+	EvOriginEnd
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvOriginStart:
+		return "origin_start"
+	case EvTargetStart:
+		return "target_start"
+	case EvTargetEnd:
+		return "target_end"
+	case EvOriginEnd:
+		return "origin_end"
+	default:
+		return "unknown"
+	}
+}
+
+// PVarSample is the set of Mercury PVARs fused into trace events at Full
+// stage (paper §IV-C).
+type PVarSample struct {
+	OFIEventsRead    uint64 `json:"ofi_events_read"`
+	CompletionQueue  uint64 `json:"completion_queue_size"`
+	PostedHandles    uint64 `json:"num_posted_handles"`
+	InputSerNanos    uint64 `json:"input_serialization_ns,omitempty"`
+	InputDeserNanos  uint64 `json:"input_deserialization_ns,omitempty"`
+	OutputSerNanos   uint64 `json:"output_serialization_ns,omitempty"`
+	RDMANanos        uint64 `json:"internal_rdma_ns,omitempty"`
+	OriginCBNanos    uint64 `json:"origin_cb_ns,omitempty"`
+	NetworkPending   uint64 `json:"network_pending,omitempty"`
+	BulkBytesMoved   uint64 `json:"bulk_bytes,omitempty"`
+	RPCsInvokedTotal uint64 `json:"rpcs_invoked_total,omitempty"`
+}
+
+// SysSample is the OS-layer data sampled when generating a trace event
+// (paper §IV-C: memory usage and CPU utilization, here the Go-process
+// equivalents plus the Argobots pool counters).
+type SysSample struct {
+	PoolRunnable int64  `json:"pool_runnable"`
+	PoolBlocked  int64  `json:"pool_blocked"`
+	HeapBytes    uint64 `json:"heap_bytes,omitempty"`
+	Goroutines   int    `json:"goroutines,omitempty"`
+}
+
+// Event is one distributed-trace record.
+type Event struct {
+	RequestID  uint64      `json:"request_id"`
+	Order      uint64      `json:"order"` // Lamport counter
+	Kind       EventKind   `json:"kind"`
+	Timestamp  int64       `json:"ts_ns"` // local wall clock, ns since epoch
+	Entity     string      `json:"entity"`
+	Peer       string      `json:"peer,omitempty"`
+	RPCName    string      `json:"rpc"`
+	Breadcrumb uint64      `json:"breadcrumb"`
+	Duration   int64       `json:"dur_ns,omitempty"` // span length for end events
+	Sys        SysSample   `json:"sys"`
+	PVars      *PVarSample `json:"pvars,omitempty"`
+
+	// Components carries the per-interval breakdown on end events
+	// (indexed by Component).
+	Components *[NumComponents]uint64 `json:"components,omitempty"`
+}
+
+// Tracer is a bounded per-process trace buffer.
+type Tracer struct {
+	mu      sync.Mutex
+	events  []Event
+	cap     int
+	dropped uint64
+}
+
+// NewTracer returns a tracer that retains up to capacity events.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{cap: capacity}
+}
+
+// Emit appends an event, stamping its wall-clock time if unset.
+func (t *Tracer) Emit(ev Event) {
+	if ev.Timestamp == 0 {
+		ev.Timestamp = time.Now().UnixNano()
+	}
+	t.mu.Lock()
+	if len(t.events) >= t.cap {
+		t.dropped++
+		t.mu.Unlock()
+		return
+	}
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Len reports the number of buffered events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped reports events discarded due to the capacity bound.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Events returns a copy of the buffered events in emission order.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Reset clears the buffer (between experiment repetitions).
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.events = t.events[:0]
+	t.dropped = 0
+	t.mu.Unlock()
+}

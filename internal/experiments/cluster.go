@@ -1,0 +1,113 @@
+// Package experiments builds the paper's experimental setups on the
+// simulated platform and reruns every case study: the ior+Mobject
+// dominant-callpath and trace studies (Figures 5–6), the Sonata
+// serialization breakdown (Figure 7), the HEPnOS configuration studies
+// C1–C7 (Table IV, Figures 9–12), and the overhead evaluation
+// (Figure 13, Table V). Each runner returns a structured Result that
+// the cmd tools print and bench_test.go reports.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"symbiosys/internal/analysis"
+	"symbiosys/internal/core"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/mercury"
+	"symbiosys/internal/na"
+)
+
+// Cluster is one virtual deployment: a fabric plus the Margo instances
+// of every (virtual) process, tracked for teardown and dump collection.
+type Cluster struct {
+	Fabric    *na.Fabric
+	instances []*margo.Instance
+}
+
+// NewCluster creates a cluster over a fabric with the given cost model.
+func NewCluster(cfg na.Config) *Cluster {
+	return &Cluster{Fabric: na.NewFabric(cfg)}
+}
+
+// ProcessOptions describes one virtual process to start.
+type ProcessOptions struct {
+	Mode                margo.Mode
+	Node                string
+	Name                string
+	HandlerStreams      int
+	DedicatedProgressES bool
+	Stage               core.Stage
+	EagerLimit          int
+	OFIMaxEvents        int
+}
+
+// Start launches a virtual process on the cluster.
+func (c *Cluster) Start(opts ProcessOptions) (*margo.Instance, error) {
+	inst, err := margo.New(margo.Options{
+		Mode:   opts.Mode,
+		Node:   opts.Node,
+		Name:   opts.Name,
+		Fabric: c.Fabric,
+		Mercury: mercury.Config{
+			EagerLimit:   opts.EagerLimit,
+			OFIMaxEvents: opts.OFIMaxEvents,
+		},
+		HandlerStreams:      opts.HandlerStreams,
+		DedicatedProgressES: opts.DedicatedProgressES,
+		Stage:               opts.Stage,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: start %s/%s: %w", opts.Node, opts.Name, err)
+	}
+	c.instances = append(c.instances, inst)
+	return inst, nil
+}
+
+// Instances returns every process started on the cluster.
+func (c *Cluster) Instances() []*margo.Instance { return c.instances }
+
+// Shutdown tears down every process.
+func (c *Cluster) Shutdown() {
+	for _, inst := range c.instances {
+		inst.Shutdown()
+	}
+}
+
+// WaitIdle blocks until no process has RPCs in flight.
+func (c *Cluster) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for _, inst := range c.instances {
+		remain := time.Until(deadline)
+		if remain <= 0 || !inst.WaitIdle(remain) {
+			return false
+		}
+	}
+	return true
+}
+
+// Collect gathers every process's profile and trace dumps — the files
+// the SYMBIOSYS analysis scripts would ingest after a run.
+func (c *Cluster) Collect() ([]*core.ProfileDump, []*core.TraceDump) {
+	profiles := make([]*core.ProfileDump, 0, len(c.instances))
+	traces := make([]*core.TraceDump, 0, len(c.instances))
+	for _, inst := range c.instances {
+		profiles = append(profiles, inst.Profiler().Dump())
+		traces = append(traces, inst.Profiler().DumpTrace())
+	}
+	return profiles, traces
+}
+
+// Analyze merges the cluster's dumps into the offline analysis views.
+func (c *Cluster) Analyze() (*analysis.MergedProfile, *analysis.TraceSet) {
+	profiles, traces := c.Collect()
+	return analysis.Merge(profiles), analysis.MergeTraces(traces)
+}
+
+// DefaultFabric is the cost model used by all experiments: a scaled HPC
+// interconnect (1.5µs local, 8µs remote, 10 GB/s).
+func DefaultFabric() na.Config { return na.DefaultConfig() }
+
+// NominalRTT estimates one request+response transit for the unaccounted
+// computation (Figure 11): two one-way remote latencies.
+func NominalRTT(cfg na.Config) time.Duration { return 2 * cfg.LatencyRemote }

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"symbiosys/internal/core"
+)
+
+// WriteDumps persists per-process profile and trace dumps into dir as
+// <entity>.profile.json and <entity>.trace.json — the on-disk layout
+// the symprof / symtrace / symstats tools ingest.
+func WriteDumps(dir string, profiles []*core.ProfileDump, traces []*core.TraceDump) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, p := range profiles {
+		path := filepath.Join(dir, sanitize(p.Entity)+".profile.json")
+		if err := writeJSON(path, func(f *os.File) error { return core.WriteProfile(f, p) }); err != nil {
+			return err
+		}
+	}
+	for _, t := range traces {
+		path := filepath.Join(dir, sanitize(t.Entity)+".trace.json")
+		if err := writeJSON(path, func(f *os.File) error { return core.WriteTrace(f, t) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeJSON(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}
+
+// sanitize turns a fabric address into a filesystem-safe name.
+func sanitize(entity string) string {
+	return strings.NewReplacer("/", "_", ":", "_").Replace(entity)
+}

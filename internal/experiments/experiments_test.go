@@ -1,0 +1,296 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"symbiosys/internal/core"
+	"symbiosys/internal/services/mobject"
+	"symbiosys/internal/services/sdskv"
+)
+
+// scaled shrinks a Table IV configuration for test runtime.
+func scaled(cfg HEPnOSConfig, div int) HEPnOSConfig {
+	cfg.EventsPerClient = maxInt(cfg.withDefaults().EventsPerClient/div, 64)
+	if cfg.TotalClients > 8 {
+		cfg.TotalClients = 8
+		cfg.ClientsPerNode = 4
+	}
+	return cfg
+}
+
+func TestTableIVHasSevenConfigs(t *testing.T) {
+	cfgs := TableIV()
+	if len(cfgs) != 7 {
+		t.Fatalf("TableIV = %d configs", len(cfgs))
+	}
+	// Spot-check the paper's values.
+	if cfgs[0].Threads != 5 || cfgs[1].Threads != 20 {
+		t.Fatal("C1/C2 thread counts wrong")
+	}
+	if cfgs[1].Databases != 32 || cfgs[2].Databases != 8 {
+		t.Fatal("C2/C3 database counts wrong")
+	}
+	if cfgs[3].BatchSize != 1024 || cfgs[4].BatchSize != 1 {
+		t.Fatal("C4/C5 batch sizes wrong")
+	}
+	if cfgs[5].OFIMaxEvents != 64 || cfgs[4].OFIMaxEvents != 16 {
+		t.Fatal("C5/C6 OFI_max_events wrong")
+	}
+	if !cfgs[6].ClientProgressThread || cfgs[5].ClientProgressThread {
+		t.Fatal("C6/C7 progress thread flags wrong")
+	}
+}
+
+func TestRunHEPnOSStoresAllEvents(t *testing.T) {
+	cfg := scaled(C1, 8)
+	res, err := RunHEPnOS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(cfg.TotalClients * cfg.EventsPerClient)
+	if res.EventsStored != want {
+		t.Fatalf("stored %d events, want %d", res.EventsStored, want)
+	}
+	if res.CumTargetExec == 0 || res.CumOriginExec == 0 {
+		t.Fatal("no execution time recorded")
+	}
+	if res.TraceSamples == 0 {
+		t.Fatal("no trace samples at Full stage")
+	}
+	if len(res.BlockedSeries) == 0 {
+		t.Fatal("no blocked-ULT samples")
+	}
+	if len(res.OFISeries) == 0 {
+		t.Fatal("no OFI samples")
+	}
+	if res.HandlerFraction() <= 0 || res.HandlerFraction() >= 1 {
+		t.Fatalf("handler fraction = %f", res.HandlerFraction())
+	}
+}
+
+func TestFig9HandlerSaturationShape(t *testing.T) {
+	// C1 (5 streams) must show a larger handler-time share than C2 (20
+	// streams), and C2's cumulative target execution must be lower —
+	// the paper's Figure 9 result.
+	r1, err := RunHEPnOS(scaled(C1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunHEPnOS(scaled(C2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.HandlerFraction() <= r2.HandlerFraction() {
+		t.Fatalf("handler fraction C1=%.3f <= C2=%.3f",
+			r1.HandlerFraction(), r2.HandlerFraction())
+	}
+	if r2.CumTargetExec >= r1.CumTargetExec {
+		t.Fatalf("cumulative target exec C2=%v >= C1=%v",
+			r2.CumTargetExec, r1.CumTargetExec)
+	}
+}
+
+func TestFig10DatabaseSerializationShape(t *testing.T) {
+	// C2 (32 dbs/server) floods the service with more, smaller RPCs
+	// than C3 (8 dbs/server): C3 must be faster with fewer, larger
+	// put_packed calls (paper §V-C3).
+	r2, err := RunHEPnOS(scaled(C2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := RunHEPnOS(scaled(C3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Unaccounted.Count >= r2.Unaccounted.Count {
+		t.Fatalf("RPC count C3=%d >= C2=%d", r3.Unaccounted.Count, r2.Unaccounted.Count)
+	}
+	if r3.CumTargetExec >= r2.CumTargetExec {
+		t.Fatalf("cumulative target exec C3=%v >= C2=%v", r3.CumTargetExec, r2.CumTargetExec)
+	}
+	if r2.MaxBlocked() == 0 {
+		t.Fatal("C2 shows no blocked ULTs — serialization signal missing")
+	}
+}
+
+func TestFig11BatchAndProgressShape(t *testing.T) {
+	// C5 (batch 1) must be far slower than C4 (batch 1024) in wall
+	// time; C6 and C7 must successively reduce per-RPC origin latency
+	// and the unaccounted share (paper §V-C4).
+	run := func(cfg HEPnOSConfig) *HEPnOSResult {
+		r, err := RunHEPnOS(scaled(cfg, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r4, r5, r6, r7 := run(C4), run(C5), run(C6), run(C7)
+
+	if r5.WallTime < 2*r4.WallTime {
+		t.Fatalf("batch-1 wall %v not much slower than batch-1024 %v",
+			r5.WallTime, r4.WallTime)
+	}
+	mean := func(r *HEPnOSResult) time.Duration {
+		if r.Unaccounted.Count == 0 {
+			return 0
+		}
+		return r.CumOriginExec / time.Duration(r.Unaccounted.Count)
+	}
+	if mean(r6) >= mean(r5) {
+		t.Fatalf("per-RPC origin exec C6=%v >= C5=%v", mean(r6), mean(r5))
+	}
+	if mean(r7) >= mean(r6) {
+		t.Fatalf("per-RPC origin exec C7=%v >= C6=%v", mean(r7), mean(r6))
+	}
+	if r7.Unaccounted.UnaccountedFraction() >= r5.Unaccounted.UnaccountedFraction() {
+		t.Fatalf("unaccounted fraction C7=%.3f >= C5=%.3f",
+			r7.Unaccounted.UnaccountedFraction(), r5.Unaccounted.UnaccountedFraction())
+	}
+}
+
+func TestFig12OFISeriesShape(t *testing.T) {
+	// C5's progress loop must hit its 16-event budget almost always;
+	// C7's must never (paper Figure 12).
+	r5, err := RunHEPnOS(scaled(C5, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r7, err := RunHEPnOS(scaled(C7, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5.OFIAtCapFraction() < 0.5 {
+		t.Fatalf("C5 at-cap fraction = %.3f, want >= 0.5", r5.OFIAtCapFraction())
+	}
+	if r7.OFIAtCapFraction() > 0.05 {
+		t.Fatalf("C7 at-cap fraction = %.3f, want ~0", r7.OFIAtCapFraction())
+	}
+}
+
+func TestMobjectStudy(t *testing.T) {
+	res, err := RunMobjectIOR(MobjectConfig{Clients: 4, Segments: 3, TransferSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dominant) == 0 {
+		t.Fatal("no dominant callpaths")
+	}
+	// The top callpath must be one of the mobject ops, and the nested
+	// write structure must show the 12 discrete calls of Figure 5.
+	top := res.Dominant[0].Name
+	if !strings.Contains(top, "mobject_") {
+		t.Fatalf("top callpath = %q", top)
+	}
+	if res.WriteTraceRequestID == 0 {
+		t.Fatal("no write_op trace captured")
+	}
+	if n := res.NestedWriteCalls(); n != 12 {
+		t.Fatalf("nested write calls = %d, want 12", n)
+	}
+	// Zipkin export of that request parses and has spans.
+	var buf bytes.Buffer
+	if err := res.Traces.WriteZipkin(&buf, res.WriteTraceRequestID); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mobject_write_op") {
+		t.Fatal("zipkin export missing write_op span")
+	}
+}
+
+func TestMobjectReadListDominant(t *testing.T) {
+	// Figure 6: within mobject_read_op, the sdskv_list_keyvals_rpc hop
+	// carries the dominant share of nested time.
+	res, err := RunMobjectIOR(MobjectConfig{Clients: 4, Segments: 4, TransferSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBC := core.Breadcrumb(0).Push(mobject.RPCReadOp)
+	listBC := readBC.Push(sdskv.RPCListKeyvals)
+	var listCum, otherCum uint64
+	for _, row := range res.Profile.DominantCallpaths(0) {
+		if row.BC.Parent() != readBC {
+			continue
+		}
+		if row.BC == listBC {
+			listCum = row.CumNanos
+		} else if row.CumNanos > otherCum {
+			otherCum = row.CumNanos
+		}
+	}
+	if listCum == 0 {
+		t.Fatal("no list_keyvals callpath under read_op")
+	}
+	if listCum < otherCum {
+		t.Fatalf("list_keyvals cum %v below another nested hop %v",
+			time.Duration(listCum), time.Duration(otherCum))
+	}
+}
+
+func TestSonataStudy(t *testing.T) {
+	res, err := RunSonata(SonataConfig{Records: 5000, BatchSize: 500, RecordSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RPCCalls != 10 {
+		t.Fatalf("RPC calls = %d, want 10", res.RPCCalls)
+	}
+	// Figure 7 shape: deserialization is a significant share; the
+	// internal RDMA transfer is comparatively low but nonzero (batches
+	// overflow the eager buffer).
+	if f := res.DeserFraction(); f < 0.05 {
+		t.Fatalf("deser fraction = %.3f, want significant", f)
+	}
+	if res.RDMA == 0 {
+		t.Fatal("no internal RDMA time despite oversized metadata")
+	}
+	if res.RDMAFraction() > res.DeserFraction() {
+		t.Fatalf("RDMA fraction %.3f exceeds deser fraction %.3f",
+			res.RDMAFraction(), res.DeserFraction())
+	}
+}
+
+func TestOverheadStudyStagesComparable(t *testing.T) {
+	base := scaled(C4, 16)
+	res, err := RunOverheadStudy(OverheadConfig{Base: base, Reps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 4 {
+		t.Fatalf("stages = %d", len(res.Stages))
+	}
+	// Full-support overhead must stay within run-to-run variation
+	// territory (paper: indistinguishable; we allow 2x headroom for the
+	// noisy test host).
+	if ovh := res.OverheadVsBaseline(core.StageFull); ovh > 2.0 {
+		t.Fatalf("full-support overhead = %.2fx baseline", ovh)
+	}
+	// Baseline must collect no trace samples; Full must collect some.
+	for _, st := range res.Stages {
+		if st.Stage == core.StageOff && st.TraceSamples != 0 {
+			t.Fatalf("baseline collected %d samples", st.TraceSamples)
+		}
+		if st.Stage == core.StageFull && st.TraceSamples == 0 {
+			t.Fatal("full support collected no samples")
+		}
+	}
+}
+
+func TestTimeAnalyses(t *testing.T) {
+	res, err := RunHEPnOS(scaled(C1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	// Re-run a small cluster to gather dumps directly.
+	cluster := NewCluster(DefaultFabric())
+	defer cluster.Shutdown()
+	profiles, traces := cluster.Collect()
+	timings := TimeAnalyses(profiles, traces, io.Discard)
+	if timings.ProfileSummary <= 0 || timings.TraceSummary < 0 || timings.SystemStats < 0 {
+		t.Fatalf("timings = %+v", timings)
+	}
+}

@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"symbiosys/internal/analysis"
+	"symbiosys/internal/core"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/services/hepnos"
+	"symbiosys/internal/services/sdskv"
+	"symbiosys/internal/workload/dataloader"
+)
+
+// HEPnOSConfig is one row of the paper's Table IV plus the workload
+// knobs of the scaled-down reproduction.
+type HEPnOSConfig struct {
+	Name string
+
+	// Table IV columns.
+	TotalClients         int
+	ClientsPerNode       int
+	TotalServers         int
+	ServersPerNode       int
+	BatchSize            int
+	Threads              int // handler execution streams per server
+	Databases            int // databases per server process
+	ClientProgressThread bool
+	OFIMaxEvents         int
+	// ServerOFIMaxEvents overrides the servers' progress read budget
+	// when non-zero (isolation experiments); the paper's knob is the
+	// client-side budget.
+	ServerOFIMaxEvents int
+
+	// Workload shape (scaled for the simulated platform).
+	EventsPerClient  int
+	EventSize        int
+	IssuersPerClient int
+	// MaxInflight bounds the async flush engine's outstanding RPCs per
+	// issuer (the HEPnOS async engine window).
+	MaxInflight int
+	// PutCostPerKey is the modeled backend insert cost. The paper's
+	// batches hold ~1024 events; the scaled workload holds far fewer
+	// per batch, so the per-key cost is raised to keep per-RPC service
+	// times in the same regime.
+	PutCostPerKey time.Duration
+	// IssueCost is the modeled client-side request-preparation cost per
+	// put_packed RPC.
+	IssueCost time.Duration
+
+	Backend string
+	Stage   core.Stage
+}
+
+func (c HEPnOSConfig) withDefaults() HEPnOSConfig {
+	if c.EventsPerClient == 0 {
+		c.EventsPerClient = 2048
+	}
+	if c.EventSize == 0 {
+		c.EventSize = 512
+	}
+	if c.IssuersPerClient == 0 {
+		c.IssuersPerClient = 1
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 32
+	}
+	if c.PutCostPerKey == 0 {
+		c.PutCostPerKey = 10 * time.Microsecond
+	}
+	if c.IssueCost == 0 {
+		c.IssueCost = 25 * time.Microsecond
+	}
+	if c.Backend == "" {
+		c.Backend = "map"
+	}
+	return c
+}
+
+// The seven service configurations of Table IV. Client/server counts
+// are the paper's; the workload is scaled so each run completes in
+// seconds on the simulated platform.
+var (
+	// C1: too few execution streams (5 threads). The workload is the
+	// paper's shape scaled down: each client loads 2048 events through
+	// the async flush engine, so the 4 servers receive bursts of
+	// put_packed RPCs whose service demand exceeds 5 streams.
+	C1 = HEPnOSConfig{Name: "C1", TotalClients: 32, ClientsPerNode: 16,
+		TotalServers: 4, ServersPerNode: 2, BatchSize: 1024, Threads: 5,
+		Databases: 32, OFIMaxEvents: 16, EventsPerClient: 2048, MaxInflight: 64,
+		Stage: core.StageFull}
+	// C2: C1 with 15 additional execution streams.
+	C2 = HEPnOSConfig{Name: "C2", TotalClients: 32, ClientsPerNode: 16,
+		TotalServers: 4, ServersPerNode: 2, BatchSize: 1024, Threads: 20,
+		Databases: 32, OFIMaxEvents: 16, EventsPerClient: 2048, MaxInflight: 64,
+		Stage: core.StageFull}
+	// C3: C2 with 8 databases instead of 32 — fewer, larger put_packed
+	// batches reach each server.
+	C3 = HEPnOSConfig{Name: "C3", TotalClients: 32, ClientsPerNode: 16,
+		TotalServers: 4, ServersPerNode: 2, BatchSize: 1024, Threads: 20,
+		Databases: 8, OFIMaxEvents: 16, EventsPerClient: 2048, MaxInflight: 64,
+		Stage: core.StageFull}
+	// C4: small deployment, healthy batch size. The batched loader has
+	// little reason to keep many RPCs in flight (each carries a large
+	// batch), so its async window stays shallow — which is also what
+	// keeps its OFI samples under the threshold in Figure 12a.
+	C4 = HEPnOSConfig{Name: "C4", TotalClients: 2, ClientsPerNode: 1,
+		TotalServers: 4, ServersPerNode: 2, BatchSize: 1024, Threads: 16,
+		Databases: 8, OFIMaxEvents: 16, EventsPerClient: 8192, MaxInflight: 6,
+		Stage: core.StageFull}
+	// C5: batch size 1 — the pathological configuration: every event is
+	// its own put_packed RPC, flooding the client's shared progress ES.
+	C5 = HEPnOSConfig{Name: "C5", TotalClients: 2, ClientsPerNode: 1,
+		TotalServers: 4, ServersPerNode: 2, BatchSize: 1, Threads: 16,
+		Databases: 8, OFIMaxEvents: 16, EventsPerClient: 8192, MaxInflight: 64,
+		Stage: core.StageFull}
+	// C6: C5 with OFI_max_events raised to 64.
+	C6 = HEPnOSConfig{Name: "C6", TotalClients: 2, ClientsPerNode: 1,
+		TotalServers: 4, ServersPerNode: 2, BatchSize: 1, Threads: 16,
+		Databases: 8, OFIMaxEvents: 64, EventsPerClient: 8192, MaxInflight: 64,
+		Stage: core.StageFull}
+	// C7: C6 with a dedicated client progress execution stream.
+	C7 = HEPnOSConfig{Name: "C7", TotalClients: 2, ClientsPerNode: 1,
+		TotalServers: 4, ServersPerNode: 2, BatchSize: 1, Threads: 16,
+		Databases: 8, ClientProgressThread: true, OFIMaxEvents: 64,
+		EventsPerClient: 8192, MaxInflight: 64, Stage: core.StageFull}
+)
+
+// TableIV lists the seven configurations in order.
+func TableIV() []HEPnOSConfig {
+	return []HEPnOSConfig{C1, C2, C3, C4, C5, C6, C7}
+}
+
+// HEPnOSResult is everything the Figures 9–12 analyses need from one
+// configuration run.
+type HEPnOSResult struct {
+	Config       HEPnOSConfig
+	WallTime     time.Duration
+	EventsStored uint64
+
+	// CumTargetExec and Components aggregate the sdskv_put_packed
+	// target-side profile (Figure 9's stacked bar).
+	CumTargetExec time.Duration
+	Components    [core.NumComponents]uint64
+
+	// CumOriginExec is the origin-side cumulative latency; Unaccounted
+	// is the Figure 11 residual.
+	CumOriginExec time.Duration
+	Unaccounted   analysis.UnaccountedReport
+
+	// BlockedSeries is the Figure 10 scatter; OFISeries the Figure 12
+	// samples (client-side).
+	BlockedSeries []analysis.BlockedSample
+	OFISeries     []analysis.OFISample
+
+	// TraceSamples counts trace events collected across processes.
+	TraceSamples int
+
+	Profile *analysis.MergedProfile
+}
+
+// HandlerFraction returns the target-handler share of cumulative target
+// execution (the paper's 26.6% diagnosis for C1).
+func (r *HEPnOSResult) HandlerFraction() float64 {
+	if r.CumTargetExec == 0 {
+		return 0
+	}
+	return float64(r.Components[core.CompHandler]) / float64(r.CumTargetExec)
+}
+
+// MaxBlocked returns the peak blocked-ULT count of the run.
+func (r *HEPnOSResult) MaxBlocked() int64 {
+	var m int64
+	for _, s := range r.BlockedSeries {
+		if s.Blocked > m {
+			m = s.Blocked
+		}
+	}
+	return m
+}
+
+// OFIAtCapFraction returns the share of progress passes that read the
+// full OFI_max_events budget (Figure 12's pinned-at-threshold signal).
+func (r *HEPnOSResult) OFIAtCapFraction() float64 {
+	if len(r.OFISeries) == 0 {
+		return 0
+	}
+	atCap := 0
+	for _, s := range r.OFISeries {
+		if s.EventsRead >= uint64(r.Config.OFIMaxEvents) {
+			atCap++
+		}
+	}
+	return float64(atCap) / float64(len(r.OFISeries))
+}
+
+// RunHEPnOS deploys one Table IV configuration, runs the data-loader
+// workload, and returns the analyzed result.
+func RunHEPnOS(cfg HEPnOSConfig) (*HEPnOSResult, error) {
+	res, _, _, err := runHEPnOSInternal(cfg)
+	return res, err
+}
+
+// CollectHEPnOSDumps runs one configuration and returns the raw
+// per-process profile and trace dumps — the inputs the analysis scripts
+// ingest (used by the Table V benchmark and the cmd tools).
+func CollectHEPnOSDumps(cfg HEPnOSConfig) ([]*core.ProfileDump, []*core.TraceDump, error) {
+	_, profiles, traces, err := runHEPnOSInternal(cfg)
+	return profiles, traces, err
+}
+
+func runHEPnOSInternal(cfg HEPnOSConfig) (*HEPnOSResult, []*core.ProfileDump, []*core.TraceDump, error) {
+	cfg = cfg.withDefaults()
+	cluster := NewCluster(DefaultFabric())
+	defer cluster.Shutdown()
+
+	// Servers, ServersPerNode per virtual node.
+	var infos []hepnos.ServerInfo
+	var servers []*hepnos.Server
+	for i := 0; i < cfg.TotalServers; i++ {
+		node := fmt.Sprintf("server-node%d", i/maxInt(cfg.ServersPerNode, 1))
+		inst, err := cluster.Start(ProcessOptions{
+			Mode: margo.ModeServer, Node: node,
+			Name:           fmt.Sprintf("hepnos%d", i),
+			HandlerStreams: cfg.Threads,
+			Stage:          cfg.Stage,
+			OFIMaxEvents:   serverOFI(cfg),
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		srv, err := hepnos.NewServer(inst, cfg.Databases, cfg.Backend,
+			sdskv.Config{PutCostPerKey: cfg.PutCostPerKey})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		servers = append(servers, srv)
+		infos = append(infos, hepnos.ServerInfo{Addr: srv.Addr(), DBIDs: srv.DBIDs})
+	}
+
+	// Clients, ClientsPerNode per virtual node.
+	var clients []*margo.Instance
+	for i := 0; i < cfg.TotalClients; i++ {
+		node := fmt.Sprintf("client-node%d", i/maxInt(cfg.ClientsPerNode, 1))
+		inst, err := cluster.Start(ProcessOptions{
+			Mode: margo.ModeClient, Node: node,
+			Name:                fmt.Sprintf("loader%d", i),
+			DedicatedProgressES: cfg.ClientProgressThread,
+			Stage:               cfg.Stage,
+			OFIMaxEvents:        cfg.OFIMaxEvents,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		clients = append(clients, inst)
+	}
+
+	// Run every client's loader concurrently and wait.
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, len(clients))
+	stored := make([]uint64, len(clients))
+	for i, inst := range clients {
+		wg.Add(1)
+		go func(i int, inst *margo.Instance) {
+			defer wg.Done()
+			stored[i], errs[i] = dataloader.Run(inst, dataloader.Config{
+				Events:      cfg.EventsPerClient,
+				EventSize:   cfg.EventSize,
+				BatchSize:   cfg.BatchSize,
+				MaxInflight: cfg.MaxInflight,
+				IssueCost:   cfg.IssueCost,
+				Issuers:     cfg.IssuersPerClient,
+				Servers:     infos,
+				Seed:        uint64(i + 1),
+			})
+		}(i, inst)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("client %d: %w", i, err)
+		}
+	}
+	cluster.WaitIdle(10 * time.Second)
+	// Let target-side completion callbacks land.
+	time.Sleep(20 * time.Millisecond)
+
+	res := &HEPnOSResult{Config: cfg, WallTime: wall}
+	for _, s := range stored {
+		res.EventsStored += s
+	}
+	profiles, traceDumps := cluster.Collect()
+	merged := analysis.Merge(profiles)
+	traces := analysis.MergeTraces(traceDumps)
+	res.Profile = merged
+	res.TraceSamples = len(traces.Events)
+
+	bc := core.Breadcrumb(0).Push(sdskv.RPCPutPacked)
+	total, comps := merged.CumulativeTargetExecution(bc)
+	res.CumTargetExec = total
+	res.Components = comps
+	for key, s := range merged.Origin {
+		if key.BC == bc {
+			res.CumOriginExec += time.Duration(s.Components[core.CompOriginExec])
+		}
+	}
+	res.Unaccounted = merged.Unaccounted(bc, NominalRTT(cluster.Fabric.Config()))
+	res.BlockedSeries = traces.BlockedULTSeries(sdskv.RPCPutPacked)
+	res.OFISeries = traces.OFIEventsReadSeries("")
+	return res, profiles, traceDumps, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// serverOFI picks the server-side progress read budget.
+func serverOFI(cfg HEPnOSConfig) int {
+	if cfg.ServerOFIMaxEvents > 0 {
+		return cfg.ServerOFIMaxEvents
+	}
+	return cfg.OFIMaxEvents
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"time"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/analysis"
+	"symbiosys/internal/core"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/services/sonata"
+)
+
+// SonataConfig reproduces the paper's §V-B benchmark: one origin and one
+// target on separate compute nodes; a fixed-length JSON record array is
+// stored through repeated sonata_store_multi_json calls in batches.
+type SonataConfig struct {
+	Records    int // paper: 50,000
+	BatchSize  int // paper: 5,000
+	RecordSize int // bytes per JSON record
+	EagerLimit int // Mercury eager buffer
+	Stage      core.Stage
+}
+
+func (c SonataConfig) withDefaults() SonataConfig {
+	if c.Records == 0 {
+		c.Records = 50_000
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 5_000
+	}
+	if c.RecordSize == 0 {
+		c.RecordSize = 256
+	}
+	if c.EagerLimit == 0 {
+		c.EagerLimit = 4096
+	}
+	if c.Stage == 0 {
+		c.Stage = core.StageFull
+	}
+	return c
+}
+
+// SonataResult carries the Figure 7 breakdown: how the cumulative RPC
+// execution time on the target maps to individual steps.
+type SonataResult struct {
+	Config   SonataConfig
+	WallTime time.Duration
+	RPCCalls uint64
+
+	// Cumulative target-side nanoseconds per step.
+	TargetExec    uint64 // t5→t8 total
+	InputDeser    uint64
+	OutputSer     uint64
+	RDMA          uint64
+	Handler       uint64
+	ExecExclusive uint64 // target exec minus (de)serialization
+
+	Profile *analysis.MergedProfile
+}
+
+// DeserFraction is the paper's headline number: input deserialization
+// as a share of overall execution time on the target (≈27% in Fig 7).
+func (r *SonataResult) DeserFraction() float64 {
+	total := r.Handler + r.RDMA + r.TargetExec
+	if total == 0 {
+		return 0
+	}
+	return float64(r.InputDeser) / float64(total)
+}
+
+// RDMAFraction is the internal RDMA share of the same total.
+func (r *SonataResult) RDMAFraction() float64 {
+	total := r.Handler + r.RDMA + r.TargetExec
+	if total == 0 {
+		return 0
+	}
+	return float64(r.RDMA) / float64(total)
+}
+
+// RunSonata reproduces the batch-store benchmark.
+func RunSonata(cfg SonataConfig) (*SonataResult, error) {
+	cfg = cfg.withDefaults()
+	cluster := NewCluster(DefaultFabric())
+	defer cluster.Shutdown()
+
+	srv, err := cluster.Start(ProcessOptions{
+		Mode: margo.ModeServer, Node: "node1", Name: "sonata",
+		HandlerStreams: 4, Stage: cfg.Stage, EagerLimit: cfg.EagerLimit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sonata.RegisterProvider(srv, sonata.Config{
+		StoreCostPerDoc: 8 * time.Microsecond,
+	}); err != nil {
+		return nil, err
+	}
+	cli, err := cluster.Start(ProcessOptions{
+		Mode: margo.ModeClient, Node: "node0", Name: "bench",
+		Stage: cfg.Stage, EagerLimit: cfg.EagerLimit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	client, err := sonata.NewClient(cli)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	var runErr error
+	u := cli.Run("sonata-bench", func(self *abt.ULT) {
+		if err := client.CreateCollection(self, srv.Addr(), "records"); err != nil {
+			runErr = err
+			return
+		}
+		batch := make([][]byte, 0, cfg.BatchSize)
+		for i := 0; i < cfg.Records; i++ {
+			batch = append(batch, sonata.GenerateRecord(i, cfg.RecordSize))
+			if len(batch) == cfg.BatchSize {
+				if _, err := client.StoreMultiJSON(self, srv.Addr(), "records", batch); err != nil {
+					runErr = err
+					return
+				}
+				batch = batch[:0]
+			}
+		}
+		if len(batch) > 0 {
+			if _, runErr = client.StoreMultiJSON(self, srv.Addr(), "records", batch); runErr != nil {
+				return
+			}
+		}
+	})
+	if err := u.Join(nil); err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	wall := time.Since(start)
+	cluster.WaitIdle(10 * time.Second)
+	time.Sleep(20 * time.Millisecond)
+
+	merged, _ := cluster.Analyze()
+	res := &SonataResult{Config: cfg, WallTime: wall, Profile: merged}
+	bc := core.Breadcrumb(0).Push(sonata.RPCStoreMultiJSON)
+	for key, s := range merged.Target {
+		if key.BC != bc {
+			continue
+		}
+		res.RPCCalls += s.Count
+		res.TargetExec += s.Components[core.CompTargetExec]
+		res.InputDeser += s.Components[core.CompInputDeser]
+		res.OutputSer += s.Components[core.CompOutputSer]
+		res.RDMA += s.Components[core.CompRDMA]
+		res.Handler += s.Components[core.CompHandler]
+	}
+	if sub := res.InputDeser + res.OutputSer; sub < res.TargetExec {
+		res.ExecExclusive = res.TargetExec - sub
+	}
+	return res, nil
+}

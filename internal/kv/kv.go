@@ -1,0 +1,74 @@
+// Package kv provides the key-value storage backends used by the SDSKV
+// microservice, standing in for the LevelDB / BerkeleyDB / std::map
+// backends of the paper (§V-C). Three engines with different concurrency
+// and ordering properties are provided:
+//
+//   - "map": an ordered in-memory store backed by a B-tree, like the
+//     paper's std::map backend. It does not support concurrent writers —
+//     the property behind the write-serialization pathology of the
+//     paper's Figure 10 — so the service layer guards it with a single
+//     ULT mutex.
+//   - "leveldb": an LSM-flavored store (sorted memtable plus immutable
+//     frozen runs merged on read), also single-writer.
+//   - "shardedmap": a hash map sharded across independently locked
+//     buckets, supporting parallel insertion; unordered listing. Used by
+//     the ablation benchmarks to show the Figure 10 pathology vanish.
+package kv
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by backends.
+var (
+	ErrClosed         = errors.New("kv: database closed")
+	ErrUnknownBackend = errors.New("kv: unknown backend")
+)
+
+// Pair is one key-value record.
+type Pair struct {
+	Key   []byte
+	Value []byte
+}
+
+// DB is one key-value database instance.
+type DB interface {
+	// Name returns the database's instance name.
+	Name() string
+	// Backend returns the engine identifier ("map", "leveldb", ...).
+	Backend() string
+	// Put stores value under key, replacing any previous value.
+	Put(key, value []byte) error
+	// Get retrieves the value stored under key.
+	Get(key []byte) (value []byte, found bool, err error)
+	// Delete removes key, reporting whether it was present.
+	Delete(key []byte) (bool, error)
+	// List returns up to max pairs with keys >= start, in key order for
+	// ordered engines (insertion-agnostic order for unordered ones).
+	List(start []byte, max int) ([]Pair, error)
+	// Len reports the number of stored pairs.
+	Len() int
+	// ConcurrentWrites reports whether parallel Put calls are safe
+	// without external serialization.
+	ConcurrentWrites() bool
+	// Close releases the database.
+	Close() error
+}
+
+// Open creates a database of the named backend.
+func Open(backend, name string) (DB, error) {
+	switch backend {
+	case "map":
+		return newBTreeDB(name, "map"), nil
+	case "leveldb":
+		return newLSMDB(name), nil
+	case "shardedmap":
+		return newShardedDB(name), nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownBackend, backend)
+	}
+}
+
+// Backends lists the available engine identifiers.
+func Backends() []string { return []string{"map", "leveldb", "shardedmap"} }

@@ -1,0 +1,294 @@
+package kv
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+)
+
+// lsmDB is a simplified log-structured merge store: writes go to a
+// sorted in-memory memtable; when the memtable exceeds its budget it is
+// frozen into an immutable sorted run, and runs are compacted when too
+// many accumulate. Reads merge the memtable and runs newest-first. This
+// mirrors the write path shape of LevelDB (the paper's alternative SDSKV
+// backend) at in-memory scale.
+//
+// Values are stored with a one-byte liveness prefix so deletions can be
+// represented as tombstones that shadow older runs.
+type lsmDB struct {
+	name string
+
+	mu       sync.RWMutex
+	mem      *btree
+	runs     []sortedRun // newest last
+	closed   bool
+	memLimit int
+	maxRuns  int
+}
+
+type sortedRun struct {
+	keys [][]byte
+	vals [][]byte // wrapped values (liveness prefix)
+}
+
+const (
+	markLive      byte = 0
+	markTombstone byte = 1
+)
+
+func wrapLive(v []byte) []byte { return append([]byte{markLive}, v...) }
+
+// unwrap returns the user value and whether the record is live.
+func unwrap(w []byte) ([]byte, bool) {
+	if len(w) == 0 || w[0] == markTombstone {
+		return nil, false
+	}
+	return w[1:], true
+}
+
+func newLSMDB(name string) *lsmDB {
+	return &lsmDB{
+		name:     name,
+		mem:      newBTree(),
+		memLimit: 1024,
+		maxRuns:  8,
+	}
+}
+
+func (d *lsmDB) Name() string           { return d.name }
+func (d *lsmDB) Backend() string        { return "leveldb" }
+func (d *lsmDB) ConcurrentWrites() bool { return false }
+
+func (d *lsmDB) Put(key, value []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	d.mem.put(key, wrapLive(value))
+	if d.mem.size >= d.memLimit {
+		d.freeze()
+	}
+	return nil
+}
+
+// freeze turns the memtable into an immutable run; compacts if needed.
+// Caller holds the write lock.
+func (d *lsmDB) freeze() {
+	run := sortedRun{
+		keys: make([][]byte, 0, d.mem.size),
+		vals: make([][]byte, 0, d.mem.size),
+	}
+	d.mem.scan(nil, func(k, v []byte) bool {
+		run.keys = append(run.keys, k)
+		run.vals = append(run.vals, v)
+		return true
+	})
+	d.runs = append(d.runs, run)
+	d.mem = newBTree()
+	d.maybeCompact()
+}
+
+// maybeCompact performs size-tiered compaction: whenever the newest
+// runs include maxRuns of similar (within 2x) size, they are merged into
+// one. Merging equals-sized tiers keeps the total write amplification
+// O(log n) per key instead of the O(n) of merge-everything-every-time.
+// Caller holds the write lock.
+func (d *lsmDB) maybeCompact() {
+	for {
+		n := len(d.runs)
+		if n <= d.maxRuns {
+			return
+		}
+		// Find the longest suffix of runs whose sizes stay within 2x of
+		// the (growing) tier size; merging the whole suffix absorbs any
+		// smaller runs beneath newer merged ones, keeping run sizes
+		// monotone oldest-largest.
+		tier := len(d.runs[n-1].keys)
+		lo := n - 1
+		for lo > 0 && len(d.runs[lo-1].keys) <= 2*tier {
+			lo--
+			if t := len(d.runs[lo].keys); t > tier {
+				tier = t
+			}
+		}
+		if n-lo < 2 {
+			return
+		}
+		merged := d.mergeRuns(d.runs[lo:], lo == 0)
+		d.runs = append(d.runs[:lo], merged)
+	}
+}
+
+// mergeRuns k-way merges runs (oldest first; newer entries shadow
+// older). Tombstones are dropped only when merging down to the oldest
+// level (dropBase), since deeper runs may still hold shadowed values.
+func (d *lsmDB) mergeRuns(runs []sortedRun, dropBase bool) sortedRun {
+	idx := make([]int, len(runs))
+	out := sortedRun{}
+	for {
+		// Find the smallest key among run heads; newest run wins ties.
+		var best []byte
+		bestRun := -1
+		for r := range runs {
+			if idx[r] >= len(runs[r].keys) {
+				continue
+			}
+			k := runs[r].keys[idx[r]]
+			if best == nil || bytes.Compare(k, best) < 0 {
+				best = k
+				bestRun = r
+			} else if bytes.Equal(k, best) && r > bestRun {
+				bestRun = r
+			}
+		}
+		if bestRun == -1 {
+			return out
+		}
+		w := runs[bestRun].vals[idx[bestRun]]
+		for r := range runs {
+			if idx[r] < len(runs[r].keys) && bytes.Equal(runs[r].keys[idx[r]], best) {
+				idx[r]++
+			}
+		}
+		if _, live := unwrap(w); !live && dropBase {
+			continue // tombstone reaching the base level: gone for good
+		}
+		out.keys = append(out.keys, best)
+		out.vals = append(out.vals, w)
+	}
+}
+
+func (r *sortedRun) find(key []byte) ([]byte, bool) {
+	idx := sort.Search(len(r.keys), func(i int) bool {
+		return bytes.Compare(r.keys[i], key) >= 0
+	})
+	if idx < len(r.keys) && bytes.Equal(r.keys[idx], key) {
+		return r.vals[idx], true
+	}
+	return nil, false
+}
+
+// lookup returns the newest wrapped record for key, if any. Caller
+// holds a lock.
+func (d *lsmDB) lookup(key []byte) ([]byte, bool) {
+	if w, ok := d.mem.get(key); ok {
+		return w, true
+	}
+	for i := len(d.runs) - 1; i >= 0; i-- {
+		if w, ok := d.runs[i].find(key); ok {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+func (d *lsmDB) Get(key []byte) ([]byte, bool, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, false, ErrClosed
+	}
+	w, ok := d.lookup(key)
+	if !ok {
+		return nil, false, nil
+	}
+	v, live := unwrap(w)
+	if !live {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+func (d *lsmDB) Delete(key []byte) (bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false, ErrClosed
+	}
+	var existed bool
+	if w, ok := d.lookup(key); ok {
+		_, existed = unwrap(w)
+	}
+	d.mem.put(key, []byte{markTombstone})
+	if d.mem.size >= d.memLimit {
+		d.freeze()
+	}
+	return existed, nil
+}
+
+func (d *lsmDB) List(start []byte, max int) ([]Pair, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	if max <= 0 {
+		return nil, nil
+	}
+	// Merge memtable and runs: newest source wins per key.
+	seen := make(map[string][]byte)
+	keys := make([]string, 0)
+	add := func(k, w []byte) {
+		s := string(k)
+		if _, dup := seen[s]; !dup {
+			keys = append(keys, s)
+			seen[s] = w
+		}
+	}
+	d.mem.scan(start, func(k, w []byte) bool { add(k, w); return true })
+	for i := len(d.runs) - 1; i >= 0; i-- {
+		run := &d.runs[i]
+		idx := sort.Search(len(run.keys), func(j int) bool {
+			return bytes.Compare(run.keys[j], start) >= 0
+		})
+		for ; idx < len(run.keys); idx++ {
+			add(run.keys[idx], run.vals[idx])
+		}
+	}
+	sort.Strings(keys)
+	out := make([]Pair, 0, max)
+	for _, s := range keys {
+		v, live := unwrap(seen[s])
+		if !live {
+			continue
+		}
+		out = append(out, Pair{
+			Key:   []byte(s),
+			Value: append([]byte(nil), v...),
+		})
+		if len(out) == max {
+			break
+		}
+	}
+	return out, nil
+}
+
+func (d *lsmDB) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	seen := make(map[string][]byte)
+	d.mem.scan(nil, func(k, w []byte) bool { seen[string(k)] = w; return true })
+	for i := len(d.runs) - 1; i >= 0; i-- {
+		run := &d.runs[i]
+		for j, k := range run.keys {
+			if _, dup := seen[string(k)]; !dup {
+				seen[string(k)] = run.vals[j]
+			}
+		}
+	}
+	n := 0
+	for _, w := range seen {
+		if _, live := unwrap(w); live {
+			n++
+		}
+	}
+	return n
+}
+
+func (d *lsmDB) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	return nil
+}

@@ -1,0 +1,174 @@
+package margo
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/core"
+	"symbiosys/internal/mercury"
+)
+
+func TestPanickingHandlerStillResponds(t *testing.T) {
+	c := newCluster(t)
+	srv := c.add(t, Options{Mode: ModeServer, Node: "n1", Name: "srv"})
+	cli := c.add(t, Options{Mode: ModeClient, Node: "n0", Name: "cli"})
+	srv.Register("boom_rpc", func(ctx *Context) {
+		panic("handler exploded")
+	})
+	cli.RegisterClient("boom_rpc")
+	err := call(t, cli, func(self *abt.ULT) error {
+		return cli.Forward(self, srv.Addr(), "boom_rpc", &mercury.Void{}, nil)
+	})
+	if !errors.Is(err, mercury.ErrHandlerFail) || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v", err)
+	}
+	// The service keeps working after the panic.
+	srv.Register("ok_rpc", func(ctx *Context) { ctx.Respond(mercury.Void{}) })
+	cli.RegisterClient("ok_rpc")
+	if err := call(t, cli, func(self *abt.ULT) error {
+		return cli.Forward(self, srv.Addr(), "ok_rpc", &mercury.Void{}, nil)
+	}); err != nil {
+		t.Fatalf("follow-up rpc: %v", err)
+	}
+}
+
+func TestPanicAfterRespondDoesNotDoubleRespond(t *testing.T) {
+	c := newCluster(t)
+	srv := c.add(t, Options{Mode: ModeServer, Node: "n1", Name: "srv"})
+	cli := c.add(t, Options{Mode: ModeClient, Node: "n0", Name: "cli"})
+	srv.Register("late_boom", func(ctx *Context) {
+		ctx.Respond(mercury.Void{})
+		panic("after responding")
+	})
+	cli.RegisterClient("late_boom")
+	if err := call(t, cli, func(self *abt.ULT) error {
+		return cli.Forward(self, srv.Addr(), "late_boom", &mercury.Void{}, nil)
+	}); err != nil {
+		t.Fatalf("err = %v, want success (respond happened before panic)", err)
+	}
+}
+
+func TestForwardTimeoutFiresOnSilentServer(t *testing.T) {
+	c := newCluster(t)
+	srv := c.add(t, Options{Mode: ModeServer, Node: "n1", Name: "srv"})
+	cli := c.add(t, Options{Mode: ModeClient, Node: "n0", Name: "cli"})
+	release := make(chan struct{})
+	srv.Register("stuck_rpc", func(ctx *Context) {
+		<-release // simulates a hung backend
+		ctx.Respond(mercury.Void{})
+	})
+	defer close(release)
+	cli.RegisterClient("stuck_rpc")
+
+	start := time.Now()
+	err := call(t, cli, func(self *abt.ULT) error {
+		return cli.ForwardTimeout(self, srv.Addr(), "stuck_rpc", &mercury.Void{}, nil, 30*time.Millisecond)
+	})
+	if !errors.Is(err, mercury.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+	// The late response is dropped as stale, not delivered.
+	time.Sleep(10 * time.Millisecond)
+	if cli.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after timeout", cli.InFlight())
+	}
+}
+
+func TestForwardTimeoutNotFiredOnFastServer(t *testing.T) {
+	c := newCluster(t)
+	srv := c.add(t, Options{Mode: ModeServer, Node: "n1", Name: "srv"})
+	cli := c.add(t, Options{Mode: ModeClient, Node: "n0", Name: "cli"})
+	srv.Register("fast_rpc", func(ctx *Context) { ctx.Respond(mercury.Void{}) })
+	cli.RegisterClient("fast_rpc")
+	if err := call(t, cli, func(self *abt.ULT) error {
+		return cli.ForwardTimeout(self, srv.Addr(), "fast_rpc", &mercury.Void{}, nil, 5*time.Second)
+	}); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClockSkewPreservesLamportOrder(t *testing.T) {
+	// Skew the client's clock far into the past: raw timestamps now
+	// disorder the events across processes, but the Lamport orders must
+	// stay causal — the paper's reason for implementing Lamport clocks.
+	c := newCluster(t)
+	srv := c.add(t, Options{Mode: ModeServer, Node: "n1", Name: "srv", Stage: core.StageFull})
+	cli := c.add(t, Options{Mode: ModeClient, Node: "n0", Name: "cli", Stage: core.StageFull})
+	cli.Profiler().SetClockSkew(-time.Hour)
+	if cli.Profiler().ClockSkew() != -time.Hour {
+		t.Fatal("skew not applied")
+	}
+	srv.Register("skewed_rpc", func(ctx *Context) { ctx.Respond(mercury.Void{}) })
+	cli.RegisterClient("skewed_rpc")
+	if err := call(t, cli, func(self *abt.ULT) error {
+		return cli.Forward(self, srv.Addr(), "skewed_rpc", &mercury.Void{}, nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	find := func(evs []core.Event, k core.EventKind) core.Event {
+		for _, e := range evs {
+			if e.Kind == k {
+				return e
+			}
+		}
+		t.Fatalf("missing %v", k)
+		return core.Event{}
+	}
+	t1 := find(cli.Profiler().Tracer().Events(), core.EvOriginStart)
+	t5 := find(srv.Profiler().Tracer().Events(), core.EvTargetStart)
+	// Wall clocks disagree wildly...
+	if t1.Timestamp >= t5.Timestamp-int64(30*time.Minute) {
+		t.Fatalf("expected skewed timestamps: t1=%d t5=%d", t1.Timestamp, t5.Timestamp)
+	}
+	// ...but causal order holds.
+	if !(t1.Order < t5.Order) {
+		t.Fatalf("lamport order broken: %d >= %d", t1.Order, t5.Order)
+	}
+}
+
+func TestCancelPostedSweepsTarget(t *testing.T) {
+	c := newCluster(t)
+	srv := c.add(t, Options{Mode: ModeServer, Node: "n1", Name: "srv"})
+	cli := c.add(t, Options{Mode: ModeClient, Node: "n0", Name: "cli"})
+	release := make(chan struct{})
+	srv.Register("hang_rpc", func(ctx *Context) {
+		<-release
+		ctx.Respond(mercury.Void{})
+	})
+	defer close(release)
+	cli.RegisterClient("hang_rpc")
+
+	errs := make([]error, 3)
+	ults := make([]*abt.ULT, 3)
+	for i := range ults {
+		idx := i
+		ults[i] = cli.Run("w", func(self *abt.ULT) {
+			errs[idx] = cli.Forward(self, srv.Addr(), "hang_rpc", &mercury.Void{}, nil)
+		})
+	}
+	// Wait for all three to be posted, then sweep.
+	deadline := time.Now().Add(5 * time.Second)
+	for cli.InFlight() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("InFlight = %d", cli.InFlight())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond) // let the sends post the handles
+	if n := cli.Mercury().CancelPosted(srv.Addr()); n != 3 {
+		t.Fatalf("CancelPosted = %d, want 3", n)
+	}
+	for i, u := range ults {
+		u.Join(nil)
+		if !errors.Is(errs[i], mercury.ErrCanceled) {
+			t.Fatalf("rpc %d err = %v", i, errs[i])
+		}
+	}
+}

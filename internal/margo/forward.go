@@ -1,0 +1,215 @@
+package margo
+
+import (
+	"fmt"
+	"time"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/core"
+	"symbiosys/internal/mercury"
+)
+
+// RegisterClient declares RPC names this instance will forward, wiring
+// them into Mercury and the breadcrumb name registry.
+func (i *Instance) RegisterClient(rpcNames ...string) error {
+	for _, name := range rpcNames {
+		if err := i.hg.Register(name, nil); err != nil {
+			return err
+		}
+		if _, err := i.prof.Names().Register(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forwardResult carries the completion of a Forward from the progress
+// ULT back to the issuing ULT.
+type forwardResult struct {
+	err error
+	t14 time.Time
+}
+
+// Forward issues one blocking RPC from the calling ULT: it serializes
+// in, sends the request, parks the ULT until the response callback
+// fires, and decodes the response into out (pass nil to skip decoding).
+//
+// This is the origin half of the paper's Figure 2 pipeline. Margo
+// records t1 before handing the request to Mercury and captures t14
+// inside the completion callback; the difference is the origin execution
+// time, attributed to the callpath breadcrumb. At Full stage the
+// origin-side PVARs (input serialization, origin completion callback
+// delay) are sampled off the Mercury handle at t14 and fused into the
+// same profile entry (paper §IV-C).
+func (i *Instance) Forward(self *abt.ULT, target, rpcName string, in, out mercury.Procable) error {
+	return i.forward(self, target, rpcName, in, out, 0)
+}
+
+// ForwardTimeout is Forward with a deadline: if no response arrives
+// within d the handle is canceled and the call returns
+// mercury.ErrCanceled. Use it against services that may have failed
+// after receiving the request (a send failure is already reported
+// without a timeout).
+func (i *Instance) ForwardTimeout(self *abt.ULT, target, rpcName string, in, out mercury.Procable, d time.Duration) error {
+	return i.forward(self, target, rpcName, in, out, d)
+}
+
+func (i *Instance) forward(self *abt.ULT, target, rpcName string, in, out mercury.Procable, timeout time.Duration) error {
+	if self == nil {
+		return fmt.Errorf("margo: Forward requires the calling ULT")
+	}
+	stage := i.prof.Stage()
+
+	mh, err := i.hg.Create(target, rpcName)
+	if err != nil {
+		return err
+	}
+	defer mh.Destroy()
+
+	// Extend the callpath ancestry: parent breadcrumb comes from the
+	// ULT-local key when this call is made from inside a handler
+	// (paper §IV-A1), and the request ID is propagated the same way.
+	var parent core.Breadcrumb
+	if v, ok := self.Local(keyBreadcrumb{}); ok {
+		parent = v.(core.Breadcrumb)
+	}
+	bc := parent.Push(rpcName)
+	var reqID uint64
+	if v, ok := self.Local(keyRequestID{}); ok {
+		reqID = v.(uint64)
+	} else if stage.Injects() {
+		reqID = i.prof.NewRequestID()
+	}
+
+	meta := mercury.Meta{}
+	if stage.Injects() {
+		meta = mercury.Meta{
+			HasTrace:   true,
+			Breadcrumb: uint64(bc),
+			RequestID:  reqID,
+			Order:      i.prof.Clock.Tick(),
+		}
+	}
+
+	t1 := time.Now()
+	if stage.Measures() {
+		ev := core.Event{
+			RequestID:  reqID,
+			Order:      meta.Order,
+			Kind:       core.EvOriginStart,
+			Timestamp:  i.prof.StampNanos(t1),
+			Entity:     i.Addr(),
+			Peer:       target,
+			RPCName:    rpcName,
+			Breadcrumb: uint64(bc),
+			Sys:        i.sysSample(i.mainPool),
+		}
+		if stage.SamplesPVars() {
+			ev.PVars = i.samplePVars(nil)
+		}
+		i.prof.Tracer().Emit(ev)
+	}
+
+	ev := abt.NewEventual()
+	i.rpcsInFlight.Add(1)
+	err = mh.Forward(in, meta, func(h *mercury.Handle, err error) {
+		// Runs at t14 in the progress ULT's Trigger pass.
+		ev.Set(forwardResult{err: err, t14: time.Now()})
+	})
+	if err != nil {
+		i.rpcsInFlight.Add(-1)
+		return err
+	}
+	if timeout > 0 {
+		// Cancel exactly this handle on deadline; the cancel path
+		// guarantees the completion callback (and thus ev) fires.
+		timer := time.AfterFunc(timeout, mh.Cancel)
+		defer timer.Stop()
+	}
+	res := ev.Wait(self).(forwardResult)
+	i.rpcsInFlight.Add(-1)
+
+	if stage.Injects() {
+		if rm := mh.RespMeta(); rm.HasTrace {
+			i.prof.Clock.Merge(rm.Order)
+		}
+	}
+
+	if res.err == nil && out != nil {
+		res.err = mh.GetOutput(out)
+	}
+
+	if stage.Measures() {
+		originExec := res.t14.Sub(t1)
+		var comps [core.NumComponents]uint64
+		comps[core.CompOriginExec] = uint64(originExec)
+		var pv *core.PVarSample
+		if stage.SamplesPVars() {
+			pv = i.samplePVars(mh)
+			comps[core.CompInputSer] = pv.InputSerNanos
+			comps[core.CompOriginCB] = pv.OriginCBNanos
+		}
+		i.prof.RecordOrigin(bc, target, originExec, &comps)
+		endOrder := meta.Order
+		if stage.Injects() {
+			endOrder = i.prof.Clock.Tick()
+		}
+		i.prof.Tracer().Emit(core.Event{
+			RequestID:  reqID,
+			Order:      endOrder,
+			Kind:       core.EvOriginEnd,
+			Timestamp:  i.prof.StampNanos(res.t14),
+			Entity:     i.Addr(),
+			Peer:       target,
+			RPCName:    rpcName,
+			Breadcrumb: uint64(bc),
+			Duration:   int64(originExec),
+			Sys:        i.sysSample(i.mainPool),
+			PVars:      pv,
+			Components: &comps,
+		})
+	}
+	return res.err
+}
+
+// BulkCreate exposes buf for one-sided transfers.
+func (i *Instance) BulkCreate(buf []byte) mercury.Bulk { return i.hg.BulkCreate(buf) }
+
+// BulkFree revokes a bulk descriptor.
+func (i *Instance) BulkFree(b mercury.Bulk) { i.hg.BulkFree(b) }
+
+// BulkPull blocks the calling ULT while pulling remote[off:off+len(buf)]
+// into buf — the target-side path of sdskv_put_packed and BAKE writes.
+func (i *Instance) BulkPull(self *abt.ULT, remote mercury.Bulk, off int, buf []byte) error {
+	return i.bulkWait(self, remote, off, buf, false)
+}
+
+// BulkPush blocks the calling ULT while pushing buf to the remote
+// region — the path of BAKE reads back to client memory.
+func (i *Instance) BulkPush(self *abt.ULT, remote mercury.Bulk, off int, buf []byte) error {
+	return i.bulkWait(self, remote, off, buf, true)
+}
+
+func (i *Instance) bulkWait(self *abt.ULT, remote mercury.Bulk, off int, buf []byte, push bool) error {
+	ev := abt.NewEventual()
+	cb := func(err error) {
+		if err == nil {
+			ev.Set(nil)
+		} else {
+			ev.Set(err)
+		}
+	}
+	var err error
+	if push {
+		err = i.hg.BulkPush(remote, off, buf, cb)
+	} else {
+		err = i.hg.BulkPull(remote, off, buf, cb)
+	}
+	if err != nil {
+		return err
+	}
+	if v := ev.Wait(self); v != nil {
+		return v.(error)
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package margo
+
+import (
+	"fmt"
+	"time"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/core"
+	"symbiosys/internal/mercury"
+)
+
+// HandlerFunc services one RPC inside a dedicated handler ULT.
+// Implementations read arguments with Context.GetInput, perform their
+// work (Compute models backend execution occupying the stream, and
+// nested Context.Forward calls extend the distributed callpath), and
+// finish with Respond or RespondError.
+type HandlerFunc func(ctx *Context)
+
+// Context is the target-side view of one RPC being serviced.
+type Context struct {
+	inst *Instance
+	mh   *mercury.Handle
+	// Self is the handler ULT, used for all cooperative operations.
+	Self *abt.ULT
+
+	rpcName   string
+	bc        core.Breadcrumb
+	reqID     uint64
+	t5        time.Time
+	responded bool
+}
+
+// Instance returns the hosting Margo instance.
+func (c *Context) Instance() *Instance { return c.inst }
+
+// RPCName returns the RPC being serviced.
+func (c *Context) RPCName() string { return c.rpcName }
+
+// Origin returns the fabric address of the calling entity.
+func (c *Context) Origin() string { return c.mh.Peer() }
+
+// Breadcrumb returns the callpath ancestry carried by the request.
+func (c *Context) Breadcrumb() core.Breadcrumb { return c.bc }
+
+// RequestID returns the distributed request ID carried by the request.
+func (c *Context) RequestID() uint64 { return c.reqID }
+
+// GetInput decodes the request arguments (charging the
+// input_deserialization_time PVAR, t6→t7).
+func (c *Context) GetInput(v mercury.Procable) error { return c.mh.GetInput(v) }
+
+// InputSize reports the serialized request payload size.
+func (c *Context) InputSize() int { return c.mh.InputSize() }
+
+// Compute models request execution work: it occupies the handler's
+// execution stream for d without consuming host CPU (see abt). Backend
+// costs in the service implementations are expressed through it.
+func (c *Context) Compute(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Forward issues a nested RPC from within the handler; the callpath
+// breadcrumb and request ID stored in the handler ULT's local keys
+// propagate automatically (paper §IV-A1).
+func (c *Context) Forward(target, rpcName string, in, out mercury.Procable) error {
+	return c.inst.Forward(c.Self, target, rpcName, in, out)
+}
+
+// BulkPull pulls remote data into buf, blocking the handler ULT.
+func (c *Context) BulkPull(remote mercury.Bulk, off int, buf []byte) error {
+	return c.inst.BulkPull(c.Self, remote, off, buf)
+}
+
+// BulkPush pushes buf into the remote region, blocking the handler ULT.
+func (c *Context) BulkPush(remote mercury.Bulk, off int, buf []byte) error {
+	return c.inst.BulkPush(c.Self, remote, off, buf)
+}
+
+// Respond sends the RPC response (t8) and completes the target-side
+// measurements when Mercury reports the response handed to the network
+// (t13): the target completion callback interval, the PVAR fusion, and
+// the callpath profile entry.
+func (c *Context) Respond(out mercury.Procable) error {
+	return c.finish(func(meta mercury.Meta, cb func(error)) error {
+		return c.mh.Respond(out, meta, cb)
+	})
+}
+
+// RespondError reports a handler failure to the origin.
+func (c *Context) RespondError(format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	return c.finish(func(meta mercury.Meta, cb func(error)) error {
+		return c.mh.RespondError(msg, meta, cb)
+	})
+}
+
+func (c *Context) finish(send func(mercury.Meta, func(error)) error) error {
+	if c.responded {
+		return fmt.Errorf("margo: double response for %s", c.rpcName)
+	}
+	c.responded = true
+	i := c.inst
+	stage := i.prof.Stage()
+
+	t8 := time.Now()
+	targetExec := t8.Sub(c.t5)
+	handlerWait := c.Self.FirstRunTime().Sub(c.Self.SpawnTime())
+
+	meta := mercury.Meta{}
+	if stage.Injects() {
+		meta = mercury.Meta{HasTrace: true, Order: i.prof.Clock.Tick()}
+	}
+
+	if stage.Measures() {
+		i.prof.Tracer().Emit(core.Event{
+			RequestID:  c.reqID,
+			Order:      meta.Order,
+			Kind:       core.EvTargetEnd,
+			Timestamp:  i.prof.StampNanos(t8),
+			Entity:     i.Addr(),
+			Peer:       c.mh.Peer(),
+			RPCName:    c.rpcName,
+			Breadcrumb: uint64(c.bc),
+			Duration:   int64(targetExec),
+			Sys:        i.sysSample(i.handlerPool),
+		})
+	}
+
+	bc, origin, mh := c.bc, c.mh.Peer(), c.mh
+	return send(meta, func(err error) {
+		// t13: the response has been handed to the network.
+		if err != nil || !stage.Measures() {
+			return
+		}
+		targetCB := time.Since(t8)
+		var comps [core.NumComponents]uint64
+		comps[core.CompTargetExec] = uint64(targetExec)
+		comps[core.CompHandler] = uint64(handlerWait)
+		comps[core.CompTargetCB] = uint64(targetCB)
+		if stage.SamplesPVars() {
+			pv := i.samplePVars(mh)
+			comps[core.CompInputDeser] = pv.InputDeserNanos
+			comps[core.CompOutputSer] = pv.OutputSerNanos
+			comps[core.CompRDMA] = pv.RDMANanos
+		}
+		i.prof.RecordTarget(bc, origin, targetExec, &comps)
+	})
+}
+
+// Register installs a server-side RPC handler. Each incoming request
+// spawns a new ULT into the handler pool (t4); the delay until an
+// execution stream picks it up is the target ULT handler time (t4→t5),
+// the saturation signal of the paper's Figure 9.
+func (i *Instance) Register(rpcName string, fn HandlerFunc) error {
+	if i.opts.Mode != ModeServer {
+		return fmt.Errorf("margo: Register requires ModeServer")
+	}
+	if _, err := i.prof.Names().Register(rpcName); err != nil {
+		return err
+	}
+	return i.hg.Register(rpcName, func(mh *mercury.Handle) {
+		// Running in the progress ULT's Trigger pass: spawn the handler
+		// ULT (t4) and return immediately.
+		i.handlerPool.Create(rpcName, func(self *abt.ULT) {
+			i.runHandler(self, mh, rpcName, fn)
+		})
+	})
+}
+
+// runHandler is the handler ULT body: t5 onward.
+func (i *Instance) runHandler(self *abt.ULT, mh *mercury.Handle, rpcName string, fn HandlerFunc) {
+	stage := i.prof.Stage()
+	meta := mh.Meta()
+
+	ctx := &Context{
+		inst:    i,
+		mh:      mh,
+		Self:    self,
+		rpcName: rpcName,
+		bc:      core.Breadcrumb(meta.Breadcrumb),
+		reqID:   meta.RequestID,
+		t5:      time.Now(),
+	}
+
+	if meta.HasTrace {
+		// Store the callpath ancestry and request identity in ULT-local
+		// keys so RPCs issued by this handler extend the chain.
+		self.SetLocal(keyBreadcrumb{}, ctx.bc)
+		self.SetLocal(keyRequestID{}, ctx.reqID)
+		i.prof.Clock.Merge(meta.Order)
+	}
+
+	if stage.Measures() {
+		ev := core.Event{
+			RequestID:  ctx.reqID,
+			Order:      i.prof.Clock.Now(),
+			Kind:       core.EvTargetStart,
+			Timestamp:  i.prof.StampNanos(ctx.t5),
+			Entity:     i.Addr(),
+			Peer:       mh.Peer(),
+			RPCName:    rpcName,
+			Breadcrumb: uint64(ctx.bc),
+			Sys:        i.sysSample(i.handlerPool),
+		}
+		if stage.SamplesPVars() {
+			ev.PVars = i.samplePVars(mh)
+		}
+		i.prof.Tracer().Emit(ev)
+	}
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil && !ctx.responded {
+				// A panicking handler must still answer the origin, or
+				// its ULT would stay parked forever.
+				ctx.RespondError("margo: handler for %s panicked: %v", rpcName, r)
+			}
+		}()
+		fn(ctx)
+	}()
+
+	if !ctx.responded {
+		// A handler that forgot to respond would leave the origin
+		// parked forever; fail loudly instead.
+		ctx.RespondError("margo: handler for %s returned without responding", rpcName)
+	}
+}

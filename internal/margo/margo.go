@@ -1,0 +1,351 @@
+// Package margo reimplements Margo, the Mochi layer that fuses the
+// Mercury RPC library with the Argobots tasking runtime and presents
+// blocking RPC calls to microservices. As in the paper (§IV-A), Margo is
+// where SYMBIOSYS lives: it is the gateway between services and the
+// communication library, so it hosts the callpath profiling, distributed
+// tracing, and PVAR sampling at the instrumentation points t1…t14 of the
+// Mochi RPC execution model (Figure 2).
+//
+// An Instance is one virtual process: a fabric endpoint, a Mercury
+// class, an Argobots runtime with a main execution stream (running the
+// progress ULT and, on clients, the application ULTs), an optional
+// dedicated progress stream, and on servers a handler pool with a
+// configurable number of execution streams (the "Threads (ESs)" column
+// of the paper's Table IV).
+package margo
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/core"
+	"symbiosys/internal/mercury"
+	"symbiosys/internal/mercury/pvar"
+	"symbiosys/internal/na"
+)
+
+// Mode selects client or server behaviour for an instance.
+type Mode int
+
+// Instance modes.
+const (
+	// ModeClient runs application ULTs and the progress ULT.
+	ModeClient Mode = iota
+	// ModeServer additionally spawns handler ULTs for incoming RPCs.
+	ModeServer
+)
+
+// Options configures an Instance.
+type Options struct {
+	Mode   Mode
+	Node   string // virtual node name (colocated endpoints share it)
+	Name   string // process name within the node
+	Fabric *na.Fabric
+
+	// Mercury holds the RPC-library tuning (eager limit, OFI_max_events).
+	Mercury mercury.Config
+
+	// HandlerStreams is the number of execution streams draining the
+	// handler pool on servers — Table IV's "Threads (ESs)". Default 4.
+	HandlerStreams int
+
+	// DedicatedProgressES gives the progress ULT its own execution
+	// stream instead of sharing the main one — Table IV's "Client
+	// Progress Thread?" remediation (paper §V-C4). Default false.
+	DedicatedProgressES bool
+
+	// Stage is the SYMBIOSYS measurement stage. Default StageFull.
+	Stage core.Stage
+
+	// ProgressTimeout bounds how long an idle progress pass blocks
+	// waiting for network events. Default 500µs.
+	ProgressTimeout time.Duration
+
+	// TriggerBatch bounds callbacks executed per progress pass.
+	// Default 256.
+	TriggerBatch int
+
+	// TraceCapacity bounds the in-memory trace buffer. Default 1<<20.
+	TraceCapacity int
+}
+
+func (o *Options) fillDefaults() {
+	if o.HandlerStreams <= 0 {
+		o.HandlerStreams = 4
+	}
+	if o.ProgressTimeout <= 0 {
+		o.ProgressTimeout = 500 * time.Microsecond
+	}
+	if o.TriggerBatch <= 0 {
+		o.TriggerBatch = 256
+	}
+}
+
+// Instance is one Margo-managed virtual process.
+type Instance struct {
+	opts Options
+	hg   *mercury.Class
+	ep   *na.Endpoint
+	rt   *abt.Runtime
+
+	mainPool     *abt.Pool
+	progressPool *abt.Pool // == mainPool unless DedicatedProgressES
+	handlerPool  *abt.Pool // servers only; == mainPool on clients
+
+	prof *core.Profiler
+	sys  *core.SysSampler
+
+	// Margo's PVAR session into Mercury (paper Figure 3), opened at
+	// initialization with handles pre-allocated for every variable it
+	// fuses into profiles and traces.
+	session     *pvar.Session
+	pvarGlobals map[string]*pvar.Handle
+	pvarBound   map[string]*pvar.Handle
+
+	progressULT *abt.ULT
+	stopping    atomic.Bool
+
+	rpcsInFlight atomic.Int64
+}
+
+// ULT-local key types for metadata propagation (paper §IV-A1: the
+// callpath ancestry and request identity travel in keys local to the ULT
+// servicing a request so downstream RPCs extend the chain).
+type (
+	keyBreadcrumb struct{}
+	keyRequestID  struct{}
+)
+
+// New creates and starts an instance: endpoint, Mercury class, Argobots
+// topology, PVAR session, and the progress ULT.
+func New(opts Options) (*Instance, error) {
+	opts.fillDefaults()
+	if opts.Fabric == nil {
+		return nil, fmt.Errorf("margo: Options.Fabric is required")
+	}
+	ep, err := opts.Fabric.NewEndpoint(opts.Node, opts.Name)
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{
+		opts: opts,
+		ep:   ep,
+		hg:   mercury.NewClass(ep, opts.Mercury),
+		rt:   abt.NewRuntime(),
+		sys:  core.NewSysSampler(0),
+	}
+	inst.prof = core.NewProfiler(ep.Addr(), opts.Stage)
+	if opts.TraceCapacity > 0 {
+		inst.prof.SetTraceCapacity(opts.TraceCapacity)
+	}
+
+	inst.mainPool = inst.rt.AddPool("main")
+	inst.rt.AddXStreams("main-es", 1, inst.mainPool)
+
+	inst.progressPool = inst.mainPool
+	if opts.DedicatedProgressES {
+		inst.progressPool = inst.rt.AddPool("progress")
+		inst.rt.AddXStreams("progress-es", 1, inst.progressPool)
+	}
+
+	inst.handlerPool = inst.mainPool
+	if opts.Mode == ModeServer {
+		inst.handlerPool = inst.rt.AddPool("handlers")
+		inst.rt.AddXStreams("handler-es", opts.HandlerStreams, inst.handlerPool)
+	}
+
+	inst.initPVarSession()
+	inst.progressULT = inst.progressPool.Create("margo-progress", inst.progressLoop)
+	return inst, nil
+}
+
+// Addr returns the instance's fabric address.
+func (i *Instance) Addr() string { return i.ep.Addr() }
+
+// Profiler returns the instance's SYMBIOSYS measurement state.
+func (i *Instance) Profiler() *core.Profiler { return i.prof }
+
+// Mercury returns the underlying RPC library instance.
+func (i *Instance) Mercury() *mercury.Class { return i.hg }
+
+// MainPool returns the pool running application/progress ULTs.
+func (i *Instance) MainPool() *abt.Pool { return i.mainPool }
+
+// HandlerPool returns the pool running RPC handler ULTs.
+func (i *Instance) HandlerPool() *abt.Pool { return i.handlerPool }
+
+// Stage returns the active measurement stage.
+func (i *Instance) Stage() core.Stage { return i.prof.Stage() }
+
+// SetStage switches the measurement stage at runtime.
+func (i *Instance) SetStage(s core.Stage) { i.prof.SetStage(s) }
+
+// progressLoop is the Mercury progress ULT (paper §V-C4): it reads up to
+// OFI_max_events completion events per pass, fires completion callbacks,
+// and yields so colocated ULTs can run. When nothing else is runnable in
+// its pool it blocks briefly in Progress, releasing the CPU but — by
+// design, to avoid context switching — not the execution stream.
+func (i *Instance) progressLoop(self *abt.ULT) {
+	for !i.stopping.Load() {
+		timeout := i.opts.ProgressTimeout
+		if i.progressPool.Len() > 0 {
+			// Other ULTs are waiting for this stream: poll without
+			// blocking so they are not starved longer than one pass.
+			timeout = 0
+		}
+		i.hg.Progress(timeout)
+		i.hg.Trigger(i.opts.TriggerBatch)
+		self.Yield()
+	}
+}
+
+// Run starts an application ULT on the main pool (client workloads).
+func (i *Instance) Run(name string, fn func(self *abt.ULT)) *abt.ULT {
+	return i.mainPool.Create(name, fn)
+}
+
+// AddHandlerStreams grows the server's handler pool by n execution
+// streams at runtime — the remediation of the paper's C1→C2 move,
+// applied live by the policy engine (paper §VII future work).
+func (i *Instance) AddHandlerStreams(n int) error {
+	if i.opts.Mode != ModeServer {
+		return fmt.Errorf("margo: AddHandlerStreams requires ModeServer")
+	}
+	if n <= 0 {
+		return fmt.Errorf("margo: AddHandlerStreams(%d)", n)
+	}
+	i.rt.AddXStreams("handler-es-extra", n, i.handlerPool)
+	i.opts.HandlerStreams += n
+	return nil
+}
+
+// HandlerStreams reports the current handler execution stream count.
+func (i *Instance) HandlerStreams() int { return i.opts.HandlerStreams }
+
+// OFIMaxEvents reports the progress loop's completion read budget.
+func (i *Instance) OFIMaxEvents() int { return i.hg.Config().OFIMaxEvents }
+
+// SetOFIMaxEvents adjusts the read budget at runtime (the C5→C6 move).
+func (i *Instance) SetOFIMaxEvents(n int) { i.hg.SetOFIMaxEvents(n) }
+
+// InFlight reports RPCs this instance has forwarded but not completed.
+func (i *Instance) InFlight() int64 { return i.rpcsInFlight.Load() }
+
+// WaitIdle blocks until no RPCs are in flight or the timeout expires,
+// reporting whether the instance went idle.
+func (i *Instance) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if i.rpcsInFlight.Load() == 0 {
+			return true
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return i.rpcsInFlight.Load() == 0
+}
+
+// Shutdown stops the progress loop and tears down the runtime.
+func (i *Instance) Shutdown() {
+	if !i.stopping.CompareAndSwap(false, true) {
+		return
+	}
+	i.progressULT.Join(nil)
+	if i.session != nil {
+		i.session.Finalize()
+	}
+	i.ep.Close()
+	i.rt.Shutdown()
+}
+
+// initPVarSession opens Margo's sampling session with Mercury and
+// allocates handles for every PVAR it fuses into measurements, mirroring
+// the initialization handshake of the paper's Figure 3.
+func (i *Instance) initPVarSession() {
+	i.session = i.hg.PVars().InitSession()
+	i.pvarGlobals = make(map[string]*pvar.Handle)
+	i.pvarBound = make(map[string]*pvar.Handle)
+	for _, name := range []string{
+		mercury.PVarNumOFIEventsRead,
+		mercury.PVarCompletionQueueSize,
+		mercury.PVarNumPostedHandles,
+		mercury.PVarNumRPCsInvoked,
+		mercury.PVarBulkBytesTransferred,
+	} {
+		h, err := i.session.AllocHandleByName(name)
+		if err != nil {
+			panic(fmt.Sprintf("margo: alloc global pvar %s: %v", name, err))
+		}
+		i.pvarGlobals[name] = h
+	}
+	for _, name := range []string{
+		mercury.PVarInputSerTime,
+		mercury.PVarInputDeserTime,
+		mercury.PVarOutputSerTime,
+		mercury.PVarInternalRDMATime,
+		mercury.PVarOriginCBTime,
+	} {
+		h, err := i.session.AllocHandleByName(name)
+		if err != nil {
+			panic(fmt.Sprintf("margo: alloc bound pvar %s: %v", name, err))
+		}
+		i.pvarBound[name] = h
+	}
+}
+
+// readGlobalPVar samples one library-global PVAR, returning 0 on error.
+func (i *Instance) readGlobalPVar(name string) uint64 {
+	h := i.pvarGlobals[name]
+	if h == nil {
+		return 0
+	}
+	v, err := i.session.Read(h, nil)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// readBoundPVar samples one handle-bound PVAR off mh.
+func (i *Instance) readBoundPVar(name string, mh *mercury.Handle) uint64 {
+	h := i.pvarBound[name]
+	if h == nil {
+		return 0
+	}
+	v, err := i.session.Read(h, mh)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// samplePVars builds the PVAR annotation for a trace event (Full stage).
+func (i *Instance) samplePVars(mh *mercury.Handle) *core.PVarSample {
+	s := &core.PVarSample{
+		OFIEventsRead:    i.readGlobalPVar(mercury.PVarNumOFIEventsRead),
+		CompletionQueue:  i.readGlobalPVar(mercury.PVarCompletionQueueSize),
+		PostedHandles:    i.readGlobalPVar(mercury.PVarNumPostedHandles),
+		RPCsInvokedTotal: i.readGlobalPVar(mercury.PVarNumRPCsInvoked),
+		BulkBytesMoved:   i.readGlobalPVar(mercury.PVarBulkBytesTransferred),
+		NetworkPending:   uint64(i.hg.NetworkPending()),
+	}
+	if mh != nil {
+		s.InputSerNanos = i.readBoundPVar(mercury.PVarInputSerTime, mh)
+		s.InputDeserNanos = i.readBoundPVar(mercury.PVarInputDeserTime, mh)
+		s.OutputSerNanos = i.readBoundPVar(mercury.PVarOutputSerTime, mh)
+		s.RDMANanos = i.readBoundPVar(mercury.PVarInternalRDMATime, mh)
+		s.OriginCBNanos = i.readBoundPVar(mercury.PVarOriginCBTime, mh)
+	}
+	return s
+}
+
+// sysSample annotates a trace event with pool and runtime statistics.
+// pool is the pool whose saturation matters at the sampling point (the
+// handler pool on targets, the main pool on origins).
+func (i *Instance) sysSample(pool *abt.Pool) core.SysSample {
+	s := i.sys.Sample()
+	s.PoolRunnable = int64(pool.Len())
+	s.PoolBlocked = pool.Blocked()
+	return s
+}

@@ -1,0 +1,62 @@
+package mercury
+
+import (
+	"fmt"
+
+	"symbiosys/internal/na"
+)
+
+// Bulk describes a registered memory region that can be transferred
+// one-sidedly between processes, mirroring Mercury's bulk interface.
+// Bulk handles are serializable and typically travel inside RPC inputs
+// so the target can pull (or push) the data.
+type Bulk struct {
+	Mem na.MemHandle
+}
+
+// Proc implements Procable so bulk descriptors can ride in RPC args.
+func (b *Bulk) Proc(p *Proc) error {
+	p.String(&b.Mem.Addr)
+	p.Uint64(&b.Mem.ID)
+	p.Int(&b.Mem.Len)
+	return p.Err()
+}
+
+// Size returns the registered region length in bytes.
+func (b *Bulk) Size() int { return b.Mem.Len }
+
+// BulkCreate registers buf for one-sided transfer and returns its
+// descriptor. Free it with BulkFree when the transfer window closes.
+func (c *Class) BulkCreate(buf []byte) Bulk {
+	return Bulk{Mem: c.ep.RegisterMemory(buf)}
+}
+
+// BulkFree revokes a descriptor created by BulkCreate.
+func (c *Class) BulkFree(b Bulk) {
+	c.ep.DeregisterMemory(b.Mem)
+}
+
+// BulkPull reads remote[off:off+len(local)] into local. cb fires from
+// Trigger when the transfer completes. This is the path a target uses to
+// fetch key-value content after an sdskv_put_packed request (paper §V-C).
+func (c *Class) BulkPull(remote Bulk, off int, local []byte, cb func(error)) error {
+	return c.bulkOp(remote, off, local, cb, false)
+}
+
+// BulkPush writes local into remote[off:off+len(local)].
+func (c *Class) BulkPush(remote Bulk, off int, local []byte, cb func(error)) error {
+	return c.bulkOp(remote, off, local, cb, true)
+}
+
+func (c *Class) bulkOp(remote Bulk, off int, local []byte, cb func(error), push bool) error {
+	if cb == nil {
+		return fmt.Errorf("mercury: bulk transfer requires a callback")
+	}
+	c.bulkBytes.Add(uint64(len(local)))
+	if push {
+		c.ep.Put(remote.Mem, off, local, &bulkCtx{cb: cb})
+	} else {
+		c.ep.Get(remote.Mem, off, local, &bulkCtx{cb: cb})
+	}
+	return nil
+}

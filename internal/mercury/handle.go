@@ -1,0 +1,261 @@
+package mercury
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"symbiosys/internal/na"
+
+	"symbiosys/internal/mercury/pvar"
+)
+
+// Handle represents one RPC exchange, on either side: the origin creates
+// a handle, forwards input through it and receives the response; the
+// target receives a handle per incoming request and responds through it.
+// Handle-bound PVARs (the per-RPC timers of Table II) live here and go
+// out of scope with the handle, exactly as the paper describes.
+type Handle struct {
+	class   *Class
+	cookie  uint64
+	rpcID   uint32
+	rpcName string
+
+	// target is the service address; peer is the origin address (set on
+	// the target side from the incoming message).
+	target string
+	peer   string
+	isTgt  bool
+
+	// Origin-side state.
+	cb            ForwardCallback
+	respPayload   []byte
+	respStatus    uint8
+	respMeta      Meta
+	memRegistered bool
+	memH          na.MemHandle
+	completed     atomic.Bool
+
+	// Target-side state.
+	reqPayload []byte
+	meta       Meta
+	arrived    time.Time
+
+	destroyed atomic.Bool
+
+	// Handle-bound PVARs (paper Table II).
+	InputSerTime    pvar.Timer // t2→t3: serialize input on origin
+	InputDeserTime  pvar.Timer // t6→t7: deserialize input on target
+	OutputSerTime   pvar.Timer // t9→t10: serialize output on target
+	OutputDeserTime pvar.Timer // deserialize output on origin
+	RDMATime        pvar.Timer // t3→t4: internal RDMA metadata fetch
+	OriginCBTime    pvar.Timer // t12→t14: response CQ residence
+}
+
+// Create prepares an origin-side handle for one invocation of the named
+// RPC at the target address. The RPC must have been registered locally
+// (a nil handler suffices on clients).
+func (c *Class) Create(target, rpcName string) (*Handle, error) {
+	id := hashRPC(rpcName)
+	c.mu.Lock()
+	def := c.rpcs[id]
+	c.mu.Unlock()
+	if def == nil || def.name != rpcName {
+		return nil, fmt.Errorf("%w: %q not registered locally", ErrUnknownRPC, rpcName)
+	}
+	return &Handle{
+		class:   c,
+		cookie:  c.cookieSeq.Add(1),
+		rpcID:   id,
+		rpcName: rpcName,
+		target:  target,
+	}, nil
+}
+
+// RPCName returns the RPC the handle belongs to.
+func (h *Handle) RPCName() string { return h.rpcName }
+
+// Target returns the service address of the exchange.
+func (h *Handle) Target() string { return h.target }
+
+// Peer returns the origin address (target side only).
+func (h *Handle) Peer() string { return h.peer }
+
+// Meta returns the SYMBIOSYS metadata carried by the request (target
+// side) — breadcrumb, request ID, Lamport order.
+func (h *Handle) Meta() Meta { return h.meta }
+
+// RespMeta returns the metadata carried by the response (origin side).
+func (h *Handle) RespMeta() Meta { return h.respMeta }
+
+// Arrived returns when the request arrived at the target (t3).
+func (h *Handle) Arrived() time.Time { return h.arrived }
+
+// Forward serializes in, posts the handle, and sends the request. cb is
+// invoked from Trigger when the response (or a failure) arrives. meta is
+// the instrumentation payload; with meta.HasTrace false nothing extra is
+// sent (the measurement-off baseline).
+func (h *Handle) Forward(in Procable, meta Meta, cb ForwardCallback) error {
+	if h.destroyed.Load() {
+		return ErrDestroyed
+	}
+	if h.isTgt {
+		return fmt.Errorf("mercury: Forward on a target-side handle")
+	}
+	c := h.class
+	c.rpcsInvoked.Inc()
+
+	h.InputSerTime.Start()
+	payload, err := Encode(in)
+	h.InputSerTime.Stop()
+	if err != nil {
+		return fmt.Errorf("mercury: encode input for %s: %w", h.rpcName, err)
+	}
+
+	hdr := reqHeader{RPCID: h.rpcID, Cookie: h.cookie}
+	if meta.HasTrace {
+		hdr.Flags |= flagTrace
+		hdr.Breadcrumb = meta.Breadcrumb
+		hdr.RequestID = meta.RequestID
+		hdr.Order = meta.Order
+	}
+	eager := payload
+	if len(payload) > c.cfg.EagerLimit {
+		// Eager overflow: expose the tail for the target's internal
+		// RDMA fetch and send only the head eagerly.
+		c.eagerOverflows.Inc()
+		hdr.Flags |= flagMore
+		hdr.TotalLen = uint32(len(payload))
+		h.memH = c.ep.RegisterMemory(payload[c.cfg.EagerLimit:])
+		h.memRegistered = true
+		hdr.Mem = h.memH
+		eager = payload[:c.cfg.EagerLimit]
+	}
+	frame, err := packFrame(&hdr, eager)
+	if err != nil {
+		return err
+	}
+
+	h.cb = cb
+	c.mu.Lock()
+	c.posted[h.cookie] = h
+	c.mu.Unlock()
+	c.postedLevel.Add(1)
+
+	c.ep.Send(h.target, na.TagUnexpected, frame, &forwardSendCtx{h: h})
+	return nil
+}
+
+// completeForward finishes the origin side exactly once.
+func (h *Handle) completeForward(err error) {
+	if !h.completed.CompareAndSwap(false, true) {
+		return
+	}
+	if h.memRegistered {
+		h.class.ep.DeregisterMemory(h.memH)
+		h.memRegistered = false
+	}
+	if err == nil {
+		switch h.respStatus {
+		case statusOK:
+		case statusUnknownRPC:
+			err = fmt.Errorf("%w: %s", ErrUnknownRPC, h.rpcName)
+		case statusHandlerError:
+			var msg RawBytes
+			if derr := Decode(h.respPayload, &msg); derr == nil && len(msg) > 0 {
+				err = fmt.Errorf("%w: %s: %s", ErrHandlerFail, h.rpcName, msg)
+			} else {
+				err = fmt.Errorf("%w: %s", ErrHandlerFail, h.rpcName)
+			}
+		default:
+			err = fmt.Errorf("mercury: bad response status %d", h.respStatus)
+		}
+	}
+	if h.cb != nil {
+		h.cb(h, err)
+	}
+}
+
+// Cancel aborts a posted Forward; the callback fires with ErrCanceled.
+// A response arriving later is dropped as stale.
+func (h *Handle) Cancel() {
+	c := h.class
+	c.unpost(h)
+	c.enqueue(func(time.Time) { h.completeForward(ErrCanceled) })
+}
+
+// GetInput deserializes the request payload into v (target side),
+// charging the input_deserialization_time PVAR (t6→t7).
+func (h *Handle) GetInput(v Procable) error {
+	h.InputDeserTime.Start()
+	err := Decode(h.reqPayload, v)
+	h.InputDeserTime.Stop()
+	if err != nil {
+		return fmt.Errorf("mercury: decode input for rpc %#x: %w", h.rpcID, err)
+	}
+	return nil
+}
+
+// GetOutput deserializes the response payload into v (origin side).
+func (h *Handle) GetOutput(v Procable) error {
+	h.OutputDeserTime.Start()
+	err := Decode(h.respPayload, v)
+	h.OutputDeserTime.Stop()
+	if err != nil {
+		return fmt.Errorf("mercury: decode output for %s: %w", h.rpcName, err)
+	}
+	return nil
+}
+
+// InputSize reports the serialized request payload size at the target.
+func (h *Handle) InputSize() int { return len(h.reqPayload) }
+
+// Respond serializes out and sends it back to the origin. cb (optional)
+// fires from Trigger when the response has been handed to the network —
+// the paper's t13, closing the target completion callback interval.
+func (h *Handle) Respond(out Procable, meta Meta, cb func(error)) error {
+	return h.respondStatus(statusOK, out, meta, cb)
+}
+
+// RespondError reports a handler failure to the origin.
+func (h *Handle) RespondError(msg string, meta Meta, cb func(error)) error {
+	raw := RawBytes(msg)
+	return h.respondStatus(statusHandlerError, &raw, meta, cb)
+}
+
+func (h *Handle) respondStatus(status uint8, out Procable, meta Meta, cb func(error)) error {
+	if !h.isTgt {
+		return fmt.Errorf("mercury: Respond on an origin-side handle")
+	}
+	c := h.class
+	var payload []byte
+	var err error
+	if out != nil {
+		h.OutputSerTime.Start()
+		payload, err = Encode(out)
+		h.OutputSerTime.Stop()
+		if err != nil {
+			return fmt.Errorf("mercury: encode output for rpc %#x: %w", h.rpcID, err)
+		}
+	}
+	hdr := respHeader{Status: status}
+	if meta.HasTrace {
+		hdr.Flags |= flagTrace
+		hdr.Order = meta.Order
+	}
+	frame, err := packFrame(&hdr, payload)
+	if err != nil {
+		return err
+	}
+	c.responsesSent.Inc()
+	c.ep.Send(h.peer, h.cookie, frame, &respondCtx{h: h, cb: cb})
+	return nil
+}
+
+// Destroy releases handle resources. Safe to call multiple times.
+func (h *Handle) Destroy() {
+	if h.destroyed.CompareAndSwap(false, true) && h.memRegistered {
+		h.class.ep.DeregisterMemory(h.memH)
+		h.memRegistered = false
+	}
+}

@@ -1,0 +1,496 @@
+package mercury
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"symbiosys/internal/na"
+)
+
+// progressLoop drives a Class from a plain goroutine until stopped.
+type progressLoop struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+func drive(c *Class) *progressLoop {
+	pl := &progressLoop{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(pl.done)
+		for {
+			select {
+			case <-pl.stop:
+				return
+			default:
+			}
+			c.Progress(time.Millisecond)
+			c.Trigger(64)
+		}
+	}()
+	return pl
+}
+
+func (pl *progressLoop) Stop() {
+	close(pl.stop)
+	<-pl.done
+}
+
+type testPair struct {
+	client, server *Class
+}
+
+// newRPCPair builds a driven client/server pair on separate nodes.
+func newRPCPair(t *testing.T, cfg Config) testPair {
+	t.Helper()
+	f := na.NewFabric(na.DefaultConfig())
+	cep, err := f.NewEndpoint("node0", "client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep, err := f.NewEndpoint("node1", "server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClass(cep, cfg)
+	server := NewClass(sep, cfg)
+	cpl, spl := drive(client), drive(server)
+	t.Cleanup(func() { cpl.Stop(); spl.Stop() })
+	return testPair{client: client, server: server}
+}
+
+type echoArgs struct {
+	Msg string
+	N   uint64
+}
+
+func (a *echoArgs) Proc(p *Proc) error {
+	p.String(&a.Msg)
+	p.Uint64(&a.N)
+	return p.Err()
+}
+
+// forwardWait forwards and blocks until the callback fires.
+func forwardWait(t *testing.T, h *Handle, in Procable, meta Meta) error {
+	t.Helper()
+	done := make(chan error, 1)
+	if err := h.Forward(in, meta, func(h *Handle, err error) { done <- err }); err != nil {
+		return err
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(5 * time.Second):
+		t.Fatal("forward timed out")
+		return nil
+	}
+}
+
+func registerEcho(t *testing.T, p testPair) {
+	t.Helper()
+	if err := p.server.Register("echo_rpc", func(h *Handle) {
+		var in echoArgs
+		if err := h.GetInput(&in); err != nil {
+			h.RespondError(err.Error(), Meta{}, nil)
+			return
+		}
+		out := echoArgs{Msg: strings.ToUpper(in.Msg), N: in.N + 1}
+		if err := h.Respond(&out, Meta{}, nil); err != nil {
+			t.Errorf("Respond: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.client.Register("echo_rpc", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRPCEndToEnd(t *testing.T) {
+	p := newRPCPair(t, Config{})
+	registerEcho(t, p)
+
+	h, err := p.client.Create(p.server.Addr(), "echo_rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Destroy()
+	if err := forwardWait(t, h, &echoArgs{Msg: "hi", N: 41}, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	var out echoArgs
+	if err := h.GetOutput(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Msg != "HI" || out.N != 42 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestRPCManyConcurrent(t *testing.T) {
+	p := newRPCPair(t, Config{})
+	registerEcho(t, p)
+
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	outs := make([]echoArgs, n)
+	for i := 0; i < n; i++ {
+		h, err := p.client.Create(p.server.Addr(), "echo_rpc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		idx := i
+		err = h.Forward(&echoArgs{Msg: "m", N: uint64(idx)}, Meta{}, func(h *Handle, err error) {
+			defer wg.Done()
+			errs[idx] = err
+			if err == nil {
+				errs[idx] = h.GetOutput(&outs[idx])
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("rpc %d: %v", i, errs[i])
+		}
+		if outs[i].N != uint64(i)+1 {
+			t.Fatalf("rpc %d: out = %+v", i, outs[i])
+		}
+	}
+}
+
+func TestUnknownRPCFailsFast(t *testing.T) {
+	p := newRPCPair(t, Config{})
+	if err := p.client.Register("ghost_rpc", nil); err != nil {
+		t.Fatal(err)
+	}
+	h, err := p.client.Create(p.server.Addr(), "ghost_rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := forwardWait(t, h, &Void{}, Meta{}); !errors.Is(err, ErrUnknownRPC) {
+		t.Fatalf("err = %v, want ErrUnknownRPC", err)
+	}
+}
+
+func TestCreateUnregisteredFails(t *testing.T) {
+	p := newRPCPair(t, Config{})
+	if _, err := p.client.Create(p.server.Addr(), "never_registered"); !errors.Is(err, ErrUnknownRPC) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	p := newRPCPair(t, Config{})
+	p.server.Register("fail_rpc", func(h *Handle) {
+		h.RespondError("backend on fire", Meta{}, nil)
+	})
+	p.client.Register("fail_rpc", nil)
+	h, _ := p.client.Create(p.server.Addr(), "fail_rpc")
+	err := forwardWait(t, h, &Void{}, Meta{})
+	if !errors.Is(err, ErrHandlerFail) || !strings.Contains(err.Error(), "backend on fire") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestForwardToDeadAddressFails(t *testing.T) {
+	p := newRPCPair(t, Config{})
+	p.client.Register("echo_rpc", nil)
+	h, _ := p.client.Create("node9/ghost", "echo_rpc")
+	err := forwardWait(t, h, &Void{}, Meta{})
+	if err == nil {
+		t.Fatal("forward to dead address succeeded")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	p := newRPCPair(t, Config{})
+	// A handler that never responds.
+	block := make(chan struct{})
+	p.server.Register("slow_rpc", func(h *Handle) { <-block })
+	defer close(block)
+	p.client.Register("slow_rpc", nil)
+	h, _ := p.client.Create(p.server.Addr(), "slow_rpc")
+	done := make(chan error, 1)
+	h.Forward(&Void{}, Meta{}, func(h *Handle, err error) { done <- err })
+	time.Sleep(5 * time.Millisecond)
+	h.Cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel callback never fired")
+	}
+}
+
+func TestEagerOverflowUsesRDMA(t *testing.T) {
+	p := newRPCPair(t, Config{EagerLimit: 256})
+	var gotSize int
+	var rdmaNanos uint64
+	doneServer := make(chan struct{}, 1)
+	p.server.Register("big_rpc", func(h *Handle) {
+		var in echoArgs
+		if err := h.GetInput(&in); err != nil {
+			t.Errorf("GetInput: %v", err)
+		}
+		gotSize = len(in.Msg)
+		rdmaNanos = h.RDMATime.Nanos()
+		h.Respond(&Void{}, Meta{}, nil)
+		doneServer <- struct{}{}
+	})
+	p.client.Register("big_rpc", nil)
+
+	big := strings.Repeat("x", 10_000)
+	h, _ := p.client.Create(p.server.Addr(), "big_rpc")
+	if err := forwardWait(t, h, &echoArgs{Msg: big}, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	<-doneServer
+	if gotSize != len(big) {
+		t.Fatalf("server saw %d bytes, want %d", gotSize, len(big))
+	}
+	if rdmaNanos == 0 {
+		t.Fatal("internal RDMA timer is zero for overflowing request")
+	}
+	// The overflow counter must have fired on the origin.
+	s := p.client.PVars().InitSession()
+	defer s.Finalize()
+	ph, _ := s.AllocHandleByName(PVarNumEagerOverflows)
+	if v, _ := s.Read(ph, nil); v != 1 {
+		t.Fatalf("num_eager_overflows = %d, want 1", v)
+	}
+}
+
+func TestSmallRequestSkipsRDMA(t *testing.T) {
+	p := newRPCPair(t, Config{EagerLimit: 4096})
+	var rdmaNanos uint64 = 99
+	p.server.Register("small_rpc", func(h *Handle) {
+		rdmaNanos = h.RDMATime.Nanos()
+		h.Respond(&Void{}, Meta{}, nil)
+	})
+	p.client.Register("small_rpc", nil)
+	h, _ := p.client.Create(p.server.Addr(), "small_rpc")
+	if err := forwardWait(t, h, &echoArgs{Msg: "tiny"}, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if rdmaNanos != 0 {
+		t.Fatalf("RDMA timer = %d for eager-fit request", rdmaNanos)
+	}
+}
+
+func TestMetaPropagation(t *testing.T) {
+	p := newRPCPair(t, Config{})
+	var got Meta
+	p.server.Register("meta_rpc", func(h *Handle) {
+		got = h.Meta()
+		h.Respond(&Void{}, Meta{HasTrace: true, Order: 77}, nil)
+	})
+	p.client.Register("meta_rpc", nil)
+	h, _ := p.client.Create(p.server.Addr(), "meta_rpc")
+	meta := Meta{HasTrace: true, Breadcrumb: 0xBEEF, RequestID: 123, Order: 5}
+	if err := forwardWait(t, h, &Void{}, meta); err != nil {
+		t.Fatal(err)
+	}
+	if got != meta {
+		t.Fatalf("target meta = %+v, want %+v", got, meta)
+	}
+	if rm := h.RespMeta(); !rm.HasTrace || rm.Order != 77 {
+		t.Fatalf("resp meta = %+v", rm)
+	}
+}
+
+func TestMetaAbsentWithoutTrace(t *testing.T) {
+	p := newRPCPair(t, Config{})
+	var got Meta
+	p.server.Register("plain_rpc", func(h *Handle) {
+		got = h.Meta()
+		h.Respond(&Void{}, Meta{}, nil)
+	})
+	p.client.Register("plain_rpc", nil)
+	h, _ := p.client.Create(p.server.Addr(), "plain_rpc")
+	if err := forwardWait(t, h, &Void{}, Meta{Breadcrumb: 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if got.HasTrace || got.Breadcrumb != 0 {
+		t.Fatalf("meta leaked without trace flag: %+v", got)
+	}
+}
+
+func TestBulkPullPush(t *testing.T) {
+	p := newRPCPair(t, Config{})
+	// Client exposes data; server pulls it via an RPC carrying the bulk
+	// descriptor, then pushes a transformed copy back.
+	data := []byte("bulk-data-0123456789")
+	clientBuf := make([]byte, len(data))
+	copy(clientBuf, data)
+	bulk := p.client.BulkCreate(clientBuf)
+	defer p.client.BulkFree(bulk)
+
+	type bulkArgs struct{ B Bulk }
+	var _ = bulkArgs{}
+
+	pulled := make(chan []byte, 1)
+	p.server.Register("pull_rpc", func(h *Handle) {
+		var in Bulk
+		if err := h.GetInput(&in); err != nil {
+			t.Errorf("GetInput: %v", err)
+			return
+		}
+		local := make([]byte, in.Size())
+		h.class.BulkPull(in, 0, local, func(err error) {
+			if err != nil {
+				t.Errorf("BulkPull: %v", err)
+			}
+			pulled <- local
+			h.Respond(&Void{}, Meta{}, nil)
+		})
+	})
+	p.client.Register("pull_rpc", nil)
+	h, _ := p.client.Create(p.server.Addr(), "pull_rpc")
+	if err := forwardWait(t, h, &bulk, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	got := <-pulled
+	if string(got) != string(data) {
+		t.Fatalf("pulled %q, want %q", got, data)
+	}
+}
+
+func TestPVarGlobalCounters(t *testing.T) {
+	p := newRPCPair(t, Config{})
+	registerEcho(t, p)
+	for i := 0; i < 3; i++ {
+		h, _ := p.client.Create(p.server.Addr(), "echo_rpc")
+		if err := forwardWait(t, h, &echoArgs{Msg: "x"}, Meta{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := p.client.PVars().InitSession()
+	defer cs.Finalize()
+	read := func(name string) uint64 {
+		t.Helper()
+		h, err := cs.AllocHandleByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := cs.Read(h, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if v := read(PVarNumRPCsInvoked); v != 3 {
+		t.Fatalf("num_rpcs_invoked = %d, want 3", v)
+	}
+	if v := read(PVarNumPostedHandles); v != 0 {
+		t.Fatalf("num_posted_handles = %d, want 0 at rest", v)
+	}
+	if v := read(PVarPostedHandlesHWM); v < 1 {
+		t.Fatalf("posted HWM = %d, want >= 1", v)
+	}
+
+	ss := p.server.PVars().InitSession()
+	defer ss.Finalize()
+	sh, _ := ss.AllocHandleByName(PVarNumRPCsHandled)
+	if v, _ := ss.Read(sh, nil); v != 3 {
+		t.Fatalf("num_rpcs_handled = %d, want 3", v)
+	}
+}
+
+func TestPVarHandleBoundTimers(t *testing.T) {
+	p := newRPCPair(t, Config{})
+	registerEcho(t, p)
+	h, _ := p.client.Create(p.server.Addr(), "echo_rpc")
+	if err := forwardWait(t, h, &echoArgs{Msg: strings.Repeat("y", 2000)}, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	s := p.client.PVars().InitSession()
+	defer s.Finalize()
+	ser, _ := s.AllocHandleByName(PVarInputSerTime)
+	v, err := s.Read(ser, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == 0 {
+		t.Fatal("input serialization time PVAR is zero")
+	}
+	ocb, _ := s.AllocHandleByName(PVarOriginCBTime)
+	if _, err := s.Read(ocb, h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterCollisionAndReplace(t *testing.T) {
+	p := newRPCPair(t, Config{})
+	if err := p.server.Register("dup", nil); err != nil {
+		t.Fatal(err)
+	}
+	// nil -> handler upgrade is allowed.
+	if err := p.server.Register("dup", func(h *Handle) {}); err != nil {
+		t.Fatal(err)
+	}
+	// handler -> handler conflicts.
+	if err := p.server.Register("dup", func(h *Handle) {}); !errors.Is(err, ErrRPCRegister) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRPCNameLookup(t *testing.T) {
+	p := newRPCPair(t, Config{})
+	p.server.Register("lookup_rpc", nil)
+	name, ok := p.server.RPCName(hashRPC("lookup_rpc"))
+	if !ok || name != "lookup_rpc" {
+		t.Fatalf("RPCName = %q, %v", name, ok)
+	}
+	if _, ok := p.server.RPCName(12345); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestSetOFIMaxEvents(t *testing.T) {
+	p := newRPCPair(t, Config{OFIMaxEvents: 16})
+	p.client.SetOFIMaxEvents(64)
+	if p.client.Config().OFIMaxEvents != 64 {
+		t.Fatal("SetOFIMaxEvents did not apply")
+	}
+	p.client.SetOFIMaxEvents(0) // ignored
+	if p.client.Config().OFIMaxEvents != 64 {
+		t.Fatal("zero value overwrote setting")
+	}
+}
+
+func TestForwardOnTargetHandleRejected(t *testing.T) {
+	p := newRPCPair(t, Config{})
+	errCh := make(chan error, 1)
+	p.server.Register("bad_rpc", func(h *Handle) {
+		errCh <- h.Forward(&Void{}, Meta{}, nil)
+		h.Respond(&Void{}, Meta{}, nil)
+	})
+	p.client.Register("bad_rpc", nil)
+	h, _ := p.client.Create(p.server.Addr(), "bad_rpc")
+	if err := forwardWait(t, h, &Void{}, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("Forward on target handle accepted")
+	}
+}
+
+func TestDestroyedHandleRejectsForward(t *testing.T) {
+	p := newRPCPair(t, Config{})
+	p.client.Register("echo_rpc", nil)
+	h, _ := p.client.Create(p.server.Addr(), "echo_rpc")
+	h.Destroy()
+	if err := h.Forward(&Void{}, Meta{}, nil); !errors.Is(err, ErrDestroyed) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,267 @@
+package mercury
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// everything exercises all field kinds in one Procable.
+type everything struct {
+	U8  uint8
+	U16 uint16
+	U32 uint32
+	U64 uint64
+	I64 int64
+	I   int
+	B   bool
+	F   float64
+	S   string
+	Bs  []byte
+	Ss  []string
+	Bss [][]byte
+	Us  []uint64
+}
+
+func (e *everything) Proc(p *Proc) error {
+	p.Uint8(&e.U8)
+	p.Uint16(&e.U16)
+	p.Uint32(&e.U32)
+	p.Uint64(&e.U64)
+	p.Int64(&e.I64)
+	p.Int(&e.I)
+	p.Bool(&e.B)
+	p.Float64(&e.F)
+	p.String(&e.S)
+	p.Bytes(&e.Bs)
+	p.StringSlice(&e.Ss)
+	p.BytesSlice(&e.Bss)
+	p.Uint64Slice(&e.Us)
+	return p.Err()
+}
+
+func TestProcRoundTrip(t *testing.T) {
+	in := everything{
+		U8: 7, U16: 300, U32: 70000, U64: 1 << 40,
+		I64: -12345, I: -99, B: true, F: math.Pi,
+		S:  "hello",
+		Bs: []byte{1, 2, 3},
+		Ss: []string{"a", "", "ccc"},
+		Bss: [][]byte{
+			{9}, {}, {8, 7},
+		},
+		Us: []uint64{0, 1, math.MaxUint64},
+	}
+	buf, err := Encode(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out everything
+	if err := Decode(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Decode materializes empty slices as non-nil; normalize for compare.
+	if !reflect.DeepEqual(in.Ss, out.Ss) || in.S != out.S ||
+		!bytes.Equal(in.Bs, out.Bs) || in.U64 != out.U64 ||
+		in.I64 != out.I64 || in.I != out.I || in.B != out.B ||
+		in.F != out.F || in.U8 != out.U8 || in.U16 != out.U16 ||
+		in.U32 != out.U32 || !reflect.DeepEqual(in.Us, out.Us) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+	for i := range in.Bss {
+		if !bytes.Equal(in.Bss[i], out.Bss[i]) {
+			t.Fatalf("Bss[%d] mismatch", i)
+		}
+	}
+}
+
+func TestProcRoundTripProperty(t *testing.T) {
+	prop := func(u64 uint64, i64 int64, b bool, f float64, s string, bs []byte, ss []string) bool {
+		if f != f { // NaN compares unequal; skip
+			return true
+		}
+		in := everything{U64: u64, I64: i64, B: b, F: f, S: s, Bs: bs, Ss: ss}
+		buf, err := Encode(&in)
+		if err != nil {
+			return false
+		}
+		var out everything
+		if err := Decode(buf, &out); err != nil {
+			return false
+		}
+		if out.U64 != u64 || out.I64 != i64 || out.B != b || out.F != f || out.S != s {
+			return false
+		}
+		if !bytes.Equal(out.Bs, bs) {
+			return false
+		}
+		if len(out.Ss) != len(ss) {
+			return false
+		}
+		for i := range ss {
+			if out.Ss[i] != ss[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcShortBuffer(t *testing.T) {
+	var v everything
+	err := Decode([]byte{1, 2}, &v)
+	if !errors.Is(err, ErrProcShort) {
+		t.Fatalf("err = %v, want ErrProcShort", err)
+	}
+}
+
+func TestProcCorruptLength(t *testing.T) {
+	// A string length far beyond the buffer must fail cleanly.
+	p := NewEncoder()
+	n := uint32(math.MaxUint32)
+	p.Uint32(&n)
+	var s string
+	if err := Decode(p.Buffer(), &stringOnly{&s}); err == nil {
+		t.Fatal("corrupt length accepted")
+	}
+}
+
+type stringOnly struct{ s *string }
+
+func (x *stringOnly) Proc(p *Proc) error { return p.String(x.s) }
+
+func TestProcErrorSticky(t *testing.T) {
+	p := NewDecoder(nil)
+	var u uint64
+	if err := p.Uint64(&u); err == nil {
+		t.Fatal("expected error")
+	}
+	var s string
+	if err := p.String(&s); err == nil {
+		t.Fatal("error did not stick")
+	}
+	if p.Err() == nil {
+		t.Fatal("Err() nil after failure")
+	}
+}
+
+func TestFramePackUnpack(t *testing.T) {
+	hdr := reqHeader{
+		RPCID: 42, Cookie: 99,
+		Flags:      flagTrace | flagMore,
+		Breadcrumb: 0xABCD, RequestID: 7, Order: 3,
+		TotalLen: 100,
+	}
+	hdr.Mem.Addr = "node0/x"
+	hdr.Mem.ID = 5
+	hdr.Mem.Len = 60
+	payload := []byte("payload-bytes")
+	frame, err := packFrame(&hdr, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got reqHeader
+	rest, err := unpackFrame(frame, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rest, payload) {
+		t.Fatalf("payload = %q", rest)
+	}
+	if got != hdr {
+		t.Fatalf("header = %+v, want %+v", got, hdr)
+	}
+}
+
+func TestFrameUnpackErrors(t *testing.T) {
+	var hdr respHeader
+	if _, err := unpackFrame([]byte{1, 2}, &hdr); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	// Header length pointing past the end.
+	bad := []byte{255, 0, 0, 0, 1}
+	if _, err := unpackFrame(bad, &hdr); err == nil {
+		t.Fatal("oversized header length accepted")
+	}
+}
+
+func TestRespHeaderTraceOptional(t *testing.T) {
+	h := respHeader{Status: statusOK}
+	buf, _ := Encode(&h)
+	withTrace := respHeader{Status: statusOK, Flags: flagTrace, Order: 9}
+	buf2, _ := Encode(&withTrace)
+	if len(buf2) <= len(buf) {
+		t.Fatal("trace fields not serialized")
+	}
+	var out respHeader
+	if err := Decode(buf2, &out); err != nil || out.Order != 9 {
+		t.Fatalf("decode: %+v %v", out, err)
+	}
+}
+
+func TestRawBytesAndVoid(t *testing.T) {
+	r := RawBytes("abc")
+	buf, err := Encode(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out RawBytes
+	if err := Decode(buf, &out); err != nil || string(out) != "abc" {
+		t.Fatalf("RawBytes: %q %v", out, err)
+	}
+	if b, err := Encode(Void{}); err != nil || len(b) != 0 {
+		t.Fatalf("Void: %v %v", b, err)
+	}
+}
+
+func TestDecodeArbitraryBytesNeverPanics(t *testing.T) {
+	// Wire-facing decoders must reject garbage gracefully.
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		var e everything
+		Decode(data, &e)
+		var rh reqHeader
+		unpackFrame(data, &rh)
+		var ph respHeader
+		unpackFrame(data, &ph)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	prop := func(rpcID uint32, cookie, bcrumb, reqID, order uint64, trace bool, payload []byte) bool {
+		hdr := reqHeader{RPCID: rpcID, Cookie: cookie}
+		if trace {
+			hdr.Flags |= flagTrace
+			hdr.Breadcrumb = bcrumb
+			hdr.RequestID = reqID
+			hdr.Order = order
+		}
+		frame, err := packFrame(&hdr, payload)
+		if err != nil {
+			return false
+		}
+		var got reqHeader
+		rest, err := unpackFrame(frame, &got)
+		if err != nil {
+			return false
+		}
+		return got == hdr && bytes.Equal(rest, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package mercury
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"symbiosys/internal/na"
+)
+
+// Header flag bits.
+const (
+	// flagTrace marks requests carrying SYMBIOSYS breadcrumb/trace
+	// metadata (instrumentation Stage 1 and above).
+	flagTrace uint8 = 1 << iota
+	// flagMore marks requests whose serialized input overflowed the
+	// eager buffer; the remainder is fetched by internal RDMA.
+	flagMore
+)
+
+// Response status codes.
+const (
+	statusOK uint8 = iota
+	statusUnknownRPC
+	statusHandlerError
+)
+
+// Meta is the SYMBIOSYS metadata piggybacked on RPC messages: the 64-bit
+// callpath breadcrumb, the globally unique request ID, and the Lamport
+// order counter (paper §IV-A).
+type Meta struct {
+	HasTrace   bool
+	Breadcrumb uint64
+	RequestID  uint64
+	Order      uint64
+}
+
+// reqHeader is the request wire header.
+type reqHeader struct {
+	RPCID      uint32
+	Cookie     uint64
+	Flags      uint8
+	Breadcrumb uint64
+	RequestID  uint64
+	Order      uint64
+	// TotalLen and Mem are present when flagMore is set.
+	TotalLen uint32
+	Mem      na.MemHandle
+}
+
+// Proc implements Procable.
+func (r *reqHeader) Proc(p *Proc) error {
+	p.Uint32(&r.RPCID)
+	p.Uint64(&r.Cookie)
+	p.Uint8(&r.Flags)
+	if r.Flags&flagTrace != 0 {
+		p.Uint64(&r.Breadcrumb)
+		p.Uint64(&r.RequestID)
+		p.Uint64(&r.Order)
+	}
+	if r.Flags&flagMore != 0 {
+		p.Uint32(&r.TotalLen)
+		p.String(&r.Mem.Addr)
+		p.Uint64(&r.Mem.ID)
+		p.Int(&r.Mem.Len)
+	}
+	return p.Err()
+}
+
+// respHeader is the response wire header.
+type respHeader struct {
+	Status uint8
+	Flags  uint8
+	Order  uint64
+}
+
+// Proc implements Procable.
+func (r *respHeader) Proc(p *Proc) error {
+	p.Uint8(&r.Status)
+	p.Uint8(&r.Flags)
+	if r.Flags&flagTrace != 0 {
+		p.Uint64(&r.Order)
+	}
+	return p.Err()
+}
+
+// packFrame prefixes an encoded header with its length and appends the
+// payload: [u32 hdrLen][header][payload].
+func packFrame(hdr Procable, payload []byte) ([]byte, error) {
+	hb, err := Encode(hdr)
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, 0, 4+len(hb)+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(hb)))
+	frame = append(frame, hb...)
+	frame = append(frame, payload...)
+	return frame, nil
+}
+
+// unpackFrame splits a frame into its decoded header and payload view.
+func unpackFrame(data []byte, hdr Procable) (payload []byte, err error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: frame too short", ErrProcShort)
+	}
+	hl := int(binary.LittleEndian.Uint32(data))
+	if 4+hl > len(data) {
+		return nil, fmt.Errorf("%w: header length %d exceeds frame", ErrProcShort, hl)
+	}
+	if err := Decode(data[4:4+hl], hdr); err != nil {
+		return nil, err
+	}
+	return data[4+hl:], nil
+}

@@ -1,0 +1,101 @@
+package na
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// completionQueue is a bounded FIFO of completion events with a
+// wait/notify facility for progress loops.
+type completionQueue struct {
+	mu    sync.Mutex
+	q     []Event
+	cap   int
+	notif chan struct{}
+
+	overflows atomic.Uint64
+	posted    atomic.Uint64
+	read      atomic.Uint64
+	lenHWM    atomic.Int64
+}
+
+func newCompletionQueue(capacity int) *completionQueue {
+	return &completionQueue{cap: capacity, notif: make(chan struct{}, 1)}
+}
+
+func (c *completionQueue) post(ev Event) {
+	ev.Posted = time.Now()
+	c.mu.Lock()
+	if len(c.q) >= c.cap {
+		c.mu.Unlock()
+		c.overflows.Add(1)
+		return
+	}
+	c.q = append(c.q, ev)
+	if n := int64(len(c.q)); n > c.lenHWM.Load() {
+		c.lenHWM.Store(n)
+	}
+	c.mu.Unlock()
+	c.posted.Add(1)
+	select {
+	case c.notif <- struct{}{}:
+	default:
+	}
+}
+
+func (c *completionQueue) poll(max int) []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.q) == 0 || max <= 0 {
+		return nil
+	}
+	n := max
+	if n > len(c.q) {
+		n = len(c.q)
+	}
+	out := make([]Event, n)
+	copy(out, c.q[:n])
+	rest := copy(c.q, c.q[n:])
+	for i := rest; i < len(c.q); i++ {
+		c.q[i] = Event{}
+	}
+	c.q = c.q[:rest]
+	c.read.Add(uint64(n))
+	return out
+}
+
+func (c *completionQueue) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.q)
+}
+
+// wait blocks until an event is pending or timeout elapses. A zero
+// timeout is a non-blocking check.
+func (c *completionQueue) wait(timeout time.Duration) bool {
+	if c.len() > 0 {
+		return true
+	}
+	if timeout <= 0 {
+		return false
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return c.len() > 0
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-c.notif:
+			t.Stop()
+			if c.len() > 0 {
+				return true
+			}
+			// Notification raced with a concurrent poll; keep waiting.
+		case <-t.C:
+			return c.len() > 0
+		}
+	}
+}

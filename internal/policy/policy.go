@@ -1,0 +1,344 @@
+// Package policy implements the dynamic-reconfiguration engine the
+// paper sketches as future work (§VII): "policy-driven mechanisms
+// whereby rules governing response to poor performance behavior can be
+// formulated and applied based on performance monitoring". An Engine
+// periodically samples a Margo instance's SYMBIOSYS measurements into a
+// Snapshot, evaluates user-formulated Rules against it, and applies the
+// matching remediations live — e.g. growing the handler pool when the
+// target ULT handler time dominates (the C1→C2 move) or raising
+// OFI_max_events when the progress loop keeps reading at its budget
+// (the C5→C6 move).
+package policy
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"symbiosys/internal/core"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/mercury"
+)
+
+// Snapshot is one monitoring sample of an instance's health, derived
+// from the same SYMBIOSYS data the offline analyses use. Fractions are
+// computed over the window since the previous sample.
+type Snapshot struct {
+	At     time.Time
+	Entity string
+
+	// HandlerFraction is the target-handler share of cumulative target
+	// execution accumulated during the window (Figure 9's diagnosis).
+	HandlerFraction float64
+	// WindowTargetExec is the cumulative target execution observed in
+	// the window (to gate decisions on having enough signal).
+	WindowTargetExec time.Duration
+
+	// OFIAtCap reports whether the most recent progress pass read the
+	// full OFI_max_events budget; OFIAtCapFraction is the share of
+	// sampled ticks at the budget within the window (Figure 12).
+	OFIAtCap         bool
+	OFIAtCapFraction float64
+
+	// Pool pressure.
+	HandlerRunnable int64
+	HandlerBlocked  int64
+
+	// Library pressure.
+	CompletionQueueLen int
+	NetworkPending     int
+	InFlight           int64
+
+	HandlerStreams int
+	OFIMaxEvents   int
+}
+
+// Condition decides whether a rule matches a snapshot.
+type Condition func(Snapshot) bool
+
+// And combines conditions conjunctively.
+func And(cs ...Condition) Condition {
+	return func(s Snapshot) bool {
+		for _, c := range cs {
+			if !c(s) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Or combines conditions disjunctively.
+func Or(cs ...Condition) Condition {
+	return func(s Snapshot) bool {
+		for _, c := range cs {
+			if c(s) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// HandlerSaturated matches when the handler-wait share of target
+// execution exceeds frac with meaningful signal in the window.
+func HandlerSaturated(frac float64, minSignal time.Duration) Condition {
+	return func(s Snapshot) bool {
+		return s.WindowTargetExec >= minSignal && s.HandlerFraction > frac
+	}
+}
+
+// ProgressStarved matches when the progress loop keeps draining its
+// full event budget (the clogged-OFI-queue signal).
+func ProgressStarved(atCapFrac float64) Condition {
+	return func(s Snapshot) bool { return s.OFIAtCapFraction >= atCapFrac }
+}
+
+// QueueBacklog matches when network events await beyond n.
+func QueueBacklog(n int) Condition {
+	return func(s Snapshot) bool { return s.NetworkPending > n || s.CompletionQueueLen > n }
+}
+
+// Action is one remediation applied to the instance.
+type Action interface {
+	Apply(inst *margo.Instance) error
+	String() string
+}
+
+// AddHandlerStreams grows the handler pool by N, up to Max total.
+type AddHandlerStreams struct {
+	N   int
+	Max int
+}
+
+// Apply implements Action.
+func (a AddHandlerStreams) Apply(inst *margo.Instance) error {
+	if a.Max > 0 && inst.HandlerStreams() >= a.Max {
+		return fmt.Errorf("policy: handler streams already at limit %d", a.Max)
+	}
+	n := a.N
+	if a.Max > 0 && inst.HandlerStreams()+n > a.Max {
+		n = a.Max - inst.HandlerStreams()
+	}
+	return inst.AddHandlerStreams(n)
+}
+
+func (a AddHandlerStreams) String() string {
+	return fmt.Sprintf("add %d handler streams (max %d)", a.N, a.Max)
+}
+
+// RaiseOFIMaxEvents multiplies the progress read budget, up to Max.
+type RaiseOFIMaxEvents struct {
+	Factor int
+	Max    int
+}
+
+// Apply implements Action.
+func (a RaiseOFIMaxEvents) Apply(inst *margo.Instance) error {
+	cur := inst.OFIMaxEvents()
+	f := a.Factor
+	if f < 2 {
+		f = 2
+	}
+	next := cur * f
+	if a.Max > 0 && next > a.Max {
+		next = a.Max
+	}
+	if next <= cur {
+		return fmt.Errorf("policy: OFI_max_events already at limit %d", cur)
+	}
+	inst.SetOFIMaxEvents(next)
+	return nil
+}
+
+func (a RaiseOFIMaxEvents) String() string {
+	return fmt.Sprintf("raise OFI_max_events x%d (max %d)", a.Factor, a.Max)
+}
+
+// Rule binds a named condition to a remediation with a cooldown.
+type Rule struct {
+	Name     string
+	When     Condition
+	Do       Action
+	Cooldown time.Duration
+
+	lastFired time.Time
+}
+
+// Decision records one engine action for the audit log.
+type Decision struct {
+	At       time.Time
+	Rule     string
+	Action   string
+	Err      error
+	Snapshot Snapshot
+}
+
+// Engine monitors one instance and applies rules.
+type Engine struct {
+	inst     *margo.Instance
+	interval time.Duration
+
+	mu        sync.Mutex
+	rules     []*Rule
+	decisions []Decision
+
+	// Window state for fraction computations.
+	prevHandler uint64
+	prevExec    uint64
+	ticks       int
+	atCapTicks  int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewEngine creates a monitoring engine sampling at the given interval
+// (default 10ms).
+func NewEngine(inst *margo.Instance, interval time.Duration) *Engine {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	return &Engine{inst: inst, interval: interval}
+}
+
+// AddRule installs a rule.
+func (e *Engine) AddRule(name string, when Condition, do Action, cooldown time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rules = append(e.rules, &Rule{Name: name, When: when, Do: do, Cooldown: cooldown})
+}
+
+// Decisions returns the audit log of applied (or failed) remediations.
+func (e *Engine) Decisions() []Decision {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Decision, len(e.decisions))
+	copy(out, e.decisions)
+	return out
+}
+
+// Sample computes one monitoring snapshot (exported for tests and for
+// callers embedding the engine in their own loops).
+func (e *Engine) Sample() Snapshot {
+	inst := e.inst
+	s := Snapshot{
+		At:             time.Now(),
+		Entity:         inst.Addr(),
+		HandlerStreams: inst.HandlerStreams(),
+		OFIMaxEvents:   inst.OFIMaxEvents(),
+		InFlight:       inst.InFlight(),
+		NetworkPending: inst.Mercury().NetworkPending(),
+	}
+	s.CompletionQueueLen = inst.Mercury().CompletionQueueLen()
+
+	hp := inst.HandlerPool()
+	s.HandlerRunnable = int64(hp.Len())
+	s.HandlerBlocked = hp.Blocked()
+
+	// Windowed handler fraction from the target-side profile deltas.
+	var handler, exec uint64
+	for _, st := range inst.Profiler().TargetStats() {
+		handler += st.Components[core.CompHandler]
+		exec += st.Components[core.CompHandler] +
+			st.Components[core.CompTargetExec] +
+			st.Components[core.CompTargetCB]
+	}
+	dh := handler - e.prevHandler
+	de := exec - e.prevExec
+	e.prevHandler, e.prevExec = handler, exec
+	s.WindowTargetExec = time.Duration(de)
+	if de > 0 {
+		s.HandlerFraction = float64(dh) / float64(de)
+	}
+
+	// OFI budget pressure from the live PVAR.
+	if v, err := readOFIEventsRead(inst); err == nil {
+		s.OFIAtCap = int(v) >= inst.OFIMaxEvents()
+	}
+	e.ticks++
+	if s.OFIAtCap {
+		e.atCapTicks++
+	}
+	if e.ticks > 0 {
+		s.OFIAtCapFraction = float64(e.atCapTicks) / float64(e.ticks)
+	}
+	return s
+}
+
+// readOFIEventsRead samples the num_ofi_events_read PVAR through a
+// short-lived session, exactly as an external tool would.
+func readOFIEventsRead(inst *margo.Instance) (uint64, error) {
+	sess := inst.Mercury().PVars().InitSession()
+	defer sess.Finalize()
+	h, err := sess.AllocHandleByName(mercury.PVarNumOFIEventsRead)
+	if err != nil {
+		return 0, err
+	}
+	return sess.Read(h, nil)
+}
+
+// resetWindow clears the at-cap window after a remediation so the next
+// decisions reflect post-change behavior.
+func (e *Engine) resetWindow() {
+	e.ticks = 0
+	e.atCapTicks = 0
+}
+
+// Tick evaluates all rules against a fresh sample, applying at most one
+// action per rule whose cooldown has passed. It returns the decisions
+// made this tick.
+func (e *Engine) Tick() []Decision {
+	snap := e.Sample()
+	var made []Decision
+	e.mu.Lock()
+	rules := e.rules
+	e.mu.Unlock()
+	for _, r := range rules {
+		if r.Cooldown > 0 && !r.lastFired.IsZero() && time.Since(r.lastFired) < r.Cooldown {
+			continue
+		}
+		if !r.When(snap) {
+			continue
+		}
+		err := r.Do.Apply(e.inst)
+		r.lastFired = time.Now()
+		d := Decision{At: r.lastFired, Rule: r.Name, Action: r.Do.String(), Err: err, Snapshot: snap}
+		made = append(made, d)
+		e.mu.Lock()
+		e.decisions = append(e.decisions, d)
+		e.mu.Unlock()
+		e.resetWindow()
+	}
+	return made
+}
+
+// Start runs the engine loop until Stop. The loop runs out-of-band (a
+// plain goroutine): monitoring must not occupy the instance's streams.
+func (e *Engine) Start() {
+	e.stop = make(chan struct{})
+	e.done = make(chan struct{})
+	go func() {
+		defer close(e.done)
+		t := time.NewTicker(e.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-e.stop:
+				return
+			case <-t.C:
+				e.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts the engine loop.
+func (e *Engine) Stop() {
+	if e.stop == nil {
+		return
+	}
+	close(e.stop)
+	<-e.done
+	e.stop = nil
+}

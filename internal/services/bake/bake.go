@@ -1,0 +1,308 @@
+// Package bake reimplements BAKE, the Mochi microservice for storing and
+// retrieving bulk object blobs (paper §III-A). Object data moves through
+// Mercury's bulk interface — the target pulls from client memory on
+// writes and pushes into it on reads — while only small descriptors ride
+// in the RPC metadata, the access pattern the paper attributes to BAKE.
+//
+// Regions model NVM-backed extents: they are created with a fixed size,
+// written at offsets, persisted (with a modeled flush cost), and read
+// back. The provider registers its handlers on a Margo server instance;
+// Client is the origin-side API.
+package bake
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/mercury"
+)
+
+// RPC names exported by the BAKE provider.
+const (
+	RPCCreate  = "bake_create_rpc"
+	RPCWrite   = "bake_write_rpc"
+	RPCPersist = "bake_persist_rpc"
+	RPCRead    = "bake_read_rpc"
+	RPCGetSize = "bake_get_size_rpc"
+	RPCRemove  = "bake_remove_rpc"
+)
+
+// RPCNames lists every BAKE RPC (for client registration).
+func RPCNames() []string {
+	return []string{RPCCreate, RPCWrite, RPCPersist, RPCRead, RPCGetSize, RPCRemove}
+}
+
+// Config models the provider's storage costs.
+type Config struct {
+	// PersistCostPerKB is the modeled flush-to-NVM time charged by
+	// bake_persist per KiB of region data. Default 2µs.
+	PersistCostPerKB time.Duration
+	// WriteCostPerKB is the modeled media write time per KiB. Default 1µs.
+	WriteCostPerKB time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.PersistCostPerKB <= 0 {
+		c.PersistCostPerKB = 2 * time.Microsecond
+	}
+	if c.WriteCostPerKB <= 0 {
+		c.WriteCostPerKB = time.Microsecond
+	}
+}
+
+// Provider is a BAKE target: a set of in-memory regions.
+type Provider struct {
+	cfg Config
+
+	mu      sync.Mutex
+	regions map[uint64]*region
+	nextID  uint64
+}
+
+type region struct {
+	data      []byte
+	persisted bool
+}
+
+// RegisterProvider installs a BAKE provider on a Margo server.
+func RegisterProvider(inst *margo.Instance, cfg Config) (*Provider, error) {
+	cfg.fillDefaults()
+	p := &Provider{cfg: cfg, regions: make(map[uint64]*region)}
+	handlers := map[string]margo.HandlerFunc{
+		RPCCreate:  p.handleCreate,
+		RPCWrite:   p.handleWrite,
+		RPCPersist: p.handlePersist,
+		RPCRead:    p.handleRead,
+		RPCGetSize: p.handleGetSize,
+		RPCRemove:  p.handleRemove,
+	}
+	for name, fn := range handlers {
+		if err := inst.Register(name, fn); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// NumRegions reports how many regions the provider holds.
+func (p *Provider) NumRegions() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.regions)
+}
+
+func (p *Provider) region(id uint64) (*region, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, ok := p.regions[id]
+	return r, ok
+}
+
+// createArgs / sizeResp / writeArgs / readArgs are the wire types.
+
+type createArgs struct{ Size uint64 }
+
+func (a *createArgs) Proc(pr *mercury.Proc) error { return pr.Uint64(&a.Size) }
+
+type regionResp struct{ RID uint64 }
+
+func (a *regionResp) Proc(pr *mercury.Proc) error { return pr.Uint64(&a.RID) }
+
+type writeArgs struct {
+	RID       uint64
+	RegionOff uint64
+	Bulk      mercury.Bulk
+	BulkOff   uint64
+	Size      uint64
+}
+
+func (a *writeArgs) Proc(pr *mercury.Proc) error {
+	pr.Uint64(&a.RID)
+	pr.Uint64(&a.RegionOff)
+	a.Bulk.Proc(pr)
+	pr.Uint64(&a.BulkOff)
+	pr.Uint64(&a.Size)
+	return pr.Err()
+}
+
+type sizeResp struct{ Size uint64 }
+
+func (a *sizeResp) Proc(pr *mercury.Proc) error { return pr.Uint64(&a.Size) }
+
+func (p *Provider) handleCreate(ctx *margo.Context) {
+	var in createArgs
+	if err := ctx.GetInput(&in); err != nil {
+		ctx.RespondError("bake: %v", err)
+		return
+	}
+	p.mu.Lock()
+	p.nextID++
+	id := p.nextID
+	p.regions[id] = &region{data: make([]byte, in.Size)}
+	p.mu.Unlock()
+	ctx.Respond(&regionResp{RID: id})
+}
+
+func (p *Provider) handleWrite(ctx *margo.Context) {
+	var in writeArgs
+	if err := ctx.GetInput(&in); err != nil {
+		ctx.RespondError("bake: %v", err)
+		return
+	}
+	r, ok := p.region(in.RID)
+	if !ok {
+		ctx.RespondError("bake: unknown region %d", in.RID)
+		return
+	}
+	if in.RegionOff+in.Size > uint64(len(r.data)) {
+		ctx.RespondError("bake: write beyond region end")
+		return
+	}
+	// Pull object data straight from client memory (one-sided).
+	if err := ctx.BulkPull(in.Bulk, int(in.BulkOff), r.data[in.RegionOff:in.RegionOff+in.Size]); err != nil {
+		ctx.RespondError("bake: bulk pull: %v", err)
+		return
+	}
+	ctx.Compute(time.Duration(in.Size) * p.cfg.WriteCostPerKB / 1024)
+	ctx.Respond(mercury.Void{})
+}
+
+func (p *Provider) handlePersist(ctx *margo.Context) {
+	var in regionResp
+	if err := ctx.GetInput(&in); err != nil {
+		ctx.RespondError("bake: %v", err)
+		return
+	}
+	r, ok := p.region(in.RID)
+	if !ok {
+		ctx.RespondError("bake: unknown region %d", in.RID)
+		return
+	}
+	ctx.Compute(time.Duration(len(r.data)) * p.cfg.PersistCostPerKB / 1024)
+	p.mu.Lock()
+	r.persisted = true
+	p.mu.Unlock()
+	ctx.Respond(mercury.Void{})
+}
+
+func (p *Provider) handleRead(ctx *margo.Context) {
+	var in writeArgs // same shape: region window + client bulk window
+	if err := ctx.GetInput(&in); err != nil {
+		ctx.RespondError("bake: %v", err)
+		return
+	}
+	r, ok := p.region(in.RID)
+	if !ok {
+		ctx.RespondError("bake: unknown region %d", in.RID)
+		return
+	}
+	if in.RegionOff+in.Size > uint64(len(r.data)) {
+		ctx.RespondError("bake: read beyond region end")
+		return
+	}
+	if err := ctx.BulkPush(in.Bulk, int(in.BulkOff), r.data[in.RegionOff:in.RegionOff+in.Size]); err != nil {
+		ctx.RespondError("bake: bulk push: %v", err)
+		return
+	}
+	ctx.Respond(mercury.Void{})
+}
+
+func (p *Provider) handleGetSize(ctx *margo.Context) {
+	var in regionResp
+	if err := ctx.GetInput(&in); err != nil {
+		ctx.RespondError("bake: %v", err)
+		return
+	}
+	r, ok := p.region(in.RID)
+	if !ok {
+		ctx.RespondError("bake: unknown region %d", in.RID)
+		return
+	}
+	ctx.Respond(&sizeResp{Size: uint64(len(r.data))})
+}
+
+func (p *Provider) handleRemove(ctx *margo.Context) {
+	var in regionResp
+	if err := ctx.GetInput(&in); err != nil {
+		ctx.RespondError("bake: %v", err)
+		return
+	}
+	p.mu.Lock()
+	_, ok := p.regions[in.RID]
+	delete(p.regions, in.RID)
+	p.mu.Unlock()
+	if !ok {
+		ctx.RespondError("bake: unknown region %d", in.RID)
+		return
+	}
+	ctx.Respond(mercury.Void{})
+}
+
+// Persisted reports whether a region has been persisted (tests).
+func (p *Provider) Persisted(rid uint64) bool {
+	r, ok := p.region(rid)
+	return ok && r.persisted
+}
+
+// Client is the origin-side BAKE API.
+type Client struct {
+	inst *margo.Instance
+}
+
+// NewClient wires BAKE RPCs into a Margo instance and returns a client.
+func NewClient(inst *margo.Instance) (*Client, error) {
+	if err := inst.RegisterClient(RPCNames()...); err != nil {
+		return nil, err
+	}
+	return &Client{inst: inst}, nil
+}
+
+// Create allocates a region of the given size at the target.
+func (c *Client) Create(self *abt.ULT, target string, size uint64) (uint64, error) {
+	var out regionResp
+	if err := c.inst.Forward(self, target, RPCCreate, &createArgs{Size: size}, &out); err != nil {
+		return 0, err
+	}
+	return out.RID, nil
+}
+
+// Write transfers data into the region at off via target-side bulk pull.
+func (c *Client) Write(self *abt.ULT, target string, rid, off uint64, data []byte) error {
+	bulk := c.inst.BulkCreate(data)
+	defer c.inst.BulkFree(bulk)
+	args := writeArgs{RID: rid, RegionOff: off, Bulk: bulk, Size: uint64(len(data))}
+	return c.inst.Forward(self, target, RPCWrite, &args, nil)
+}
+
+// Persist flushes the region to stable storage.
+func (c *Client) Persist(self *abt.ULT, target string, rid uint64) error {
+	return c.inst.Forward(self, target, RPCPersist, &regionResp{RID: rid}, nil)
+}
+
+// Read fills buf from the region at off via target-side bulk push.
+func (c *Client) Read(self *abt.ULT, target string, rid, off uint64, buf []byte) error {
+	bulk := c.inst.BulkCreate(buf)
+	defer c.inst.BulkFree(bulk)
+	args := writeArgs{RID: rid, RegionOff: off, Bulk: bulk, Size: uint64(len(buf))}
+	return c.inst.Forward(self, target, RPCRead, &args, nil)
+}
+
+// GetSize returns the region's allocated size.
+func (c *Client) GetSize(self *abt.ULT, target string, rid uint64) (uint64, error) {
+	var out sizeResp
+	if err := c.inst.Forward(self, target, RPCGetSize, &regionResp{RID: rid}, &out); err != nil {
+		return 0, err
+	}
+	return out.Size, nil
+}
+
+// Remove deletes the region.
+func (c *Client) Remove(self *abt.ULT, target string, rid uint64) error {
+	if err := c.inst.Forward(self, target, RPCRemove, &regionResp{RID: rid}, nil); err != nil {
+		return fmt.Errorf("bake: remove %d: %w", rid, err)
+	}
+	return nil
+}

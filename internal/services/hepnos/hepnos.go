@@ -1,0 +1,328 @@
+// Package hepnos reimplements HEPnOS, the Mochi storage service for
+// high-energy-physics event data (paper §V-C). Data is arranged in a
+// hierarchy of datasets, runs, subruns, and events; each service
+// provider node hosts one BAKE provider for bulk object data and one
+// SDSKV provider with several databases for event metadata (paper
+// Figure 8). Clients contact the providers directly: the data-loader
+// batches serialized events per destination database and ships each
+// batch with a single sdskv_put_packed RPC — the only dominant callpath
+// of the loader, as the paper observes.
+//
+// Database selection follows the paper's client-side hashing scheme: the
+// event key is hashed against the total number of databases across all
+// servers to pick the (server, database) destination, so more databases
+// spread the same events across more, smaller RPCs (§V-C3).
+package hepnos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/services/bake"
+	"symbiosys/internal/services/sdskv"
+)
+
+// EventKey names one event in the dataset/run/subrun hierarchy.
+type EventKey struct {
+	DataSet string
+	Run     uint64
+	SubRun  uint64
+	Event   uint64
+}
+
+// String renders the canonical storage key.
+func (k EventKey) String() string {
+	return fmt.Sprintf("%s/%012d/%012d/%012d", k.DataSet, k.Run, k.SubRun, k.Event)
+}
+
+// Bytes returns the storage key as a byte slice.
+func (k EventKey) Bytes() []byte { return []byte(k.String()) }
+
+// Server is one HEPnOS service provider process: a Margo server with a
+// BAKE provider and an SDSKV provider hosting `databases` event DBs.
+type Server struct {
+	Inst  *margo.Instance
+	Bake  *bake.Provider
+	Sdskv *sdskv.Provider
+	DBIDs []uint32
+}
+
+// NewServer installs the HEPnOS providers on inst, opening `databases`
+// event databases on the given kv backend. kvCfg tunes the modeled
+// backend costs (zero values select the sdskv defaults).
+func NewServer(inst *margo.Instance, databases int, backend string, kvCfg sdskv.Config) (*Server, error) {
+	s := &Server{Inst: inst}
+	var err error
+	if s.Bake, err = bake.RegisterProvider(inst, bake.Config{}); err != nil {
+		return nil, err
+	}
+	if s.Sdskv, err = sdskv.RegisterProvider(inst, kvCfg); err != nil {
+		return nil, err
+	}
+	for i := 0; i < databases; i++ {
+		id, err := s.Sdskv.OpenLocal(fmt.Sprintf("hepnos-events-%d", i), backend)
+		if err != nil {
+			return nil, err
+		}
+		s.DBIDs = append(s.DBIDs, id)
+	}
+	return s, nil
+}
+
+// Addr returns the server's fabric address.
+func (s *Server) Addr() string { return s.Inst.Addr() }
+
+// StoredEvents reports the total number of events across the server's
+// databases (test/validation support; queried locally, not via RPC).
+func (s *Server) StoredEvents() int {
+	total := 0
+	for _, id := range s.DBIDs {
+		total += s.dbLen(id)
+	}
+	return total
+}
+
+func (s *Server) dbLen(id uint32) int {
+	n, err := s.Sdskv.LocalLength(id)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Discover builds the client's view of a HEPnOS deployment from a list
+// of server addresses (typically obtained by observing an SSG group):
+// each server is asked to enumerate its event databases.
+func Discover(inst *margo.Instance, self *abt.ULT, addrs []string) ([]ServerInfo, error) {
+	kvc, err := sdskv.NewClient(inst)
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]ServerInfo, 0, len(addrs))
+	for _, addr := range addrs {
+		ids, _, err := kvc.ListDatabases(self, addr)
+		if err != nil {
+			return nil, fmt.Errorf("hepnos: discover %s: %w", addr, err)
+		}
+		infos = append(infos, ServerInfo{Addr: addr, DBIDs: ids})
+	}
+	return infos, nil
+}
+
+// ServerInfo is a client's view of one HEPnOS server.
+type ServerInfo struct {
+	Addr  string
+	DBIDs []uint32
+}
+
+// Client is the HEPnOS client API used by the data-loader. It batches
+// events per destination database and flushes each batch as one
+// sdskv_put_packed RPC when it reaches BatchSize. A Client is owned by
+// a single issuing ULT (like a per-thread HEPnOS C++ client).
+//
+// With MaxInflight > 1 the client behaves like HEPnOS's asynchronous
+// engine: each flush is issued from its own ULT, up to MaxInflight
+// outstanding at once, and Flush waits for all of them. This is what
+// produces the bursty RPC floods of the paper's §V-C3/§V-C4 studies.
+type Client struct {
+	inst      *margo.Instance
+	kv        *sdskv.Client
+	servers   []ServerInfo
+	batchSize int
+	totalDBs  int
+
+	pending []batch
+	stored  uint64
+
+	issueCost time.Duration
+	// issueDebt accumulates modeled issue cost and is paid in coarse
+	// slices: host timers make many tiny sleeps far more expensive than
+	// their nominal duration, which would distort the model.
+	issueDebt time.Duration
+
+	// Async engine state.
+	maxInflight int
+	window      *abt.Semaphore
+	outstanding []*abt.ULT
+	asyncErrMu  sync.Mutex
+	asyncErr    error
+}
+
+type batch struct {
+	keys [][]byte
+	vals [][]byte
+}
+
+// Options tunes a loader client.
+type Options struct {
+	// BatchSize is the paper's "Batch Size" knob (Table IV).
+	BatchSize int
+	// MaxInflight > 1 enables the asynchronous flush engine with that
+	// many outstanding put_packed RPCs; 0 or 1 issues synchronously.
+	MaxInflight int
+	// IssueCost models the client-side CPU work of preparing one
+	// put_packed request (packing, hashing, memory registration). It
+	// occupies the issuing ULT's execution stream, which is what the
+	// Mercury progress ULT competes with in the paper's §V-C4 study.
+	IssueCost time.Duration
+}
+
+// NewClient wires the SDSKV (and BAKE) RPCs into the instance and
+// returns a loader client.
+func NewClient(inst *margo.Instance, servers []ServerInfo, opts Options) (*Client, error) {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 1
+	}
+	kvc, err := sdskv.NewClient(inst)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := bake.NewClient(inst); err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, s := range servers {
+		total += len(s.DBIDs)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("hepnos: no databases configured")
+	}
+	c := &Client{
+		inst:        inst,
+		kv:          kvc,
+		servers:     servers,
+		batchSize:   opts.BatchSize,
+		totalDBs:    total,
+		pending:     make([]batch, total),
+		maxInflight: opts.MaxInflight,
+		issueCost:   opts.IssueCost,
+	}
+	if c.maxInflight > 1 {
+		c.window = abt.NewSemaphore(c.maxInflight)
+	}
+	return c, nil
+}
+
+// TotalDatabases reports the number of databases across all servers.
+func (c *Client) TotalDatabases() int { return c.totalDBs }
+
+// Stored reports how many events this client has flushed so far.
+func (c *Client) Stored() uint64 { return c.stored }
+
+// dbFor hashes an event key to a global database index (paper §V-C3).
+// FNV's low bits correlate for near-sequential keys, so the hash is
+// passed through a murmur-style finalizer before the modulo.
+func (c *Client) dbFor(key []byte) int {
+	h := fnv.New64a()
+	h.Write(key)
+	v := h.Sum64()
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	return int(v % uint64(c.totalDBs))
+}
+
+// locate maps a global database index to (server address, db id).
+func (c *Client) locate(global int) (string, uint32) {
+	for _, s := range c.servers {
+		if global < len(s.DBIDs) {
+			return s.Addr, s.DBIDs[global]
+		}
+		global -= len(s.DBIDs)
+	}
+	panic("hepnos: database index out of range")
+}
+
+// StoreEvent queues one serialized event; when its destination batch
+// reaches BatchSize the batch is flushed with a single sdskv_put_packed
+// RPC from the calling ULT.
+func (c *Client) StoreEvent(self *abt.ULT, key EventKey, data []byte) error {
+	kb := key.Bytes()
+	idx := c.dbFor(kb)
+	b := &c.pending[idx]
+	b.keys = append(b.keys, kb)
+	b.vals = append(b.vals, data)
+	if len(b.keys) >= c.batchSize {
+		return c.flushDB(self, idx)
+	}
+	return nil
+}
+
+// Flush ships every non-empty batch and, in async mode, waits for all
+// outstanding flushes to complete.
+func (c *Client) Flush(self *abt.ULT) error {
+	for idx := range c.pending {
+		if len(c.pending[idx].keys) > 0 {
+			if err := c.flushDB(self, idx); err != nil {
+				return err
+			}
+		}
+	}
+	return c.waitOutstanding(self)
+}
+
+func (c *Client) flushDB(self *abt.ULT, idx int) error {
+	b := &c.pending[idx]
+	addr, dbID := c.locate(idx)
+	keys, vals := b.keys, b.vals
+	b.keys = nil
+	b.vals = nil
+	n := len(keys)
+	if c.issueCost > 0 {
+		// Modeled request-preparation CPU: holds the stream, as the
+		// real packing work would. Paid in coarse slices (see issueDebt).
+		c.issueDebt += c.issueCost
+		if c.issueDebt >= 200*time.Microsecond {
+			time.Sleep(c.issueDebt)
+			c.issueDebt = 0
+		}
+	}
+	if c.window == nil {
+		if err := c.kv.PutPacked(self, addr, dbID, keys, vals); err != nil {
+			return fmt.Errorf("hepnos: put_packed to %s db %d: %w", addr, dbID, err)
+		}
+		c.stored += uint64(n)
+		return nil
+	}
+	// Async engine: issue from a fresh ULT, bounded by the window.
+	c.window.Acquire(self)
+	u := c.inst.Run("hepnos-flush", func(flusher *abt.ULT) {
+		defer c.window.Release()
+		if err := c.kv.PutPacked(flusher, addr, dbID, keys, vals); err != nil {
+			c.asyncErrMu.Lock()
+			if c.asyncErr == nil {
+				c.asyncErr = fmt.Errorf("hepnos: put_packed to %s db %d: %w", addr, dbID, err)
+			}
+			c.asyncErrMu.Unlock()
+		}
+	})
+	c.outstanding = append(c.outstanding, u)
+	c.stored += uint64(n)
+	return c.takeAsyncErr()
+}
+
+// waitOutstanding joins every in-flight async flush.
+func (c *Client) waitOutstanding(self *abt.ULT) error {
+	for _, u := range c.outstanding {
+		u.Join(self)
+	}
+	c.outstanding = c.outstanding[:0]
+	return c.takeAsyncErr()
+}
+
+func (c *Client) takeAsyncErr() error {
+	c.asyncErrMu.Lock()
+	defer c.asyncErrMu.Unlock()
+	return c.asyncErr
+}
+
+// LoadEvent fetches one event back (validation path).
+func (c *Client) LoadEvent(self *abt.ULT, key EventKey) ([]byte, bool, error) {
+	kb := key.Bytes()
+	addr, dbID := c.locate(c.dbFor(kb))
+	return c.kv.Get(self, addr, dbID, kb)
+}

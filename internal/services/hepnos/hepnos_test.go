@@ -1,0 +1,275 @@
+package hepnos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/core"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/mercury"
+	"symbiosys/internal/na"
+	"symbiosys/internal/services/sdskv"
+	"symbiosys/internal/ssg"
+)
+
+type env struct {
+	cli     *margo.Instance
+	servers []*Server
+	infos   []ServerInfo
+}
+
+func newEnv(t *testing.T, numServers, dbsPerServer int) *env {
+	t.Helper()
+	f := na.NewFabric(na.DefaultConfig())
+	e := &env{}
+	for i := 0; i < numServers; i++ {
+		inst, err := margo.New(margo.Options{
+			Mode: margo.ModeServer, Node: fmt.Sprintf("sn%d", i),
+			Name: "hepnos", Fabric: f, HandlerStreams: 4, Stage: core.StageFull,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := NewServer(inst, dbsPerServer, "map", sdskv.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.servers = append(e.servers, srv)
+		e.infos = append(e.infos, ServerInfo{Addr: srv.Addr(), DBIDs: srv.DBIDs})
+	}
+	cli, err := margo.New(margo.Options{
+		Mode: margo.ModeClient, Node: "cn0", Name: "loader", Fabric: f, Stage: core.StageFull,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.cli = cli
+	t.Cleanup(func() {
+		cli.Shutdown()
+		for _, s := range e.servers {
+			s.Inst.Shutdown()
+		}
+	})
+	return e
+}
+
+func (e *env) run(t *testing.T, fn func(self *abt.ULT) error) error {
+	t.Helper()
+	var err error
+	u := e.cli.Run("t", func(self *abt.ULT) { err = fn(self) })
+	if jerr := u.Join(nil); jerr != nil {
+		t.Fatal(jerr)
+	}
+	return err
+}
+
+func TestEventKeyFormat(t *testing.T) {
+	k := EventKey{DataSet: "nova", Run: 1, SubRun: 2, Event: 3}
+	want := "nova/000000000001/000000000002/000000000003"
+	if k.String() != want {
+		t.Fatalf("key = %q", k.String())
+	}
+}
+
+func TestStoreAndLoadEvents(t *testing.T) {
+	e := newEnv(t, 2, 4)
+	const events = 100
+	err := e.run(t, func(self *abt.ULT) error {
+		c, err := NewClient(e.cli, e.infos, Options{BatchSize: 16})
+		if err != nil {
+			return err
+		}
+		if c.TotalDatabases() != 8 {
+			t.Errorf("TotalDatabases = %d", c.TotalDatabases())
+		}
+		for i := 0; i < events; i++ {
+			k := EventKey{DataSet: "nova", Run: 1, SubRun: uint64(i / 10), Event: uint64(i)}
+			if err := c.StoreEvent(self, k, []byte(fmt.Sprintf("event-%d", i))); err != nil {
+				return err
+			}
+		}
+		if err := c.Flush(self); err != nil {
+			return err
+		}
+		if c.Stored() != events {
+			t.Errorf("Stored = %d", c.Stored())
+		}
+		// Read a few back.
+		for i := 0; i < events; i += 17 {
+			k := EventKey{DataSet: "nova", Run: 1, SubRun: uint64(i / 10), Event: uint64(i)}
+			v, found, err := c.LoadEvent(self, k)
+			if err != nil {
+				return err
+			}
+			if !found || string(v) != fmt.Sprintf("event-%d", i) {
+				t.Errorf("event %d = %q found=%v", i, v, found)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range e.servers {
+		total += s.StoredEvents()
+	}
+	if total != events {
+		t.Fatalf("servers hold %d events, want %d", total, events)
+	}
+}
+
+func TestEventsSpreadAcrossDatabases(t *testing.T) {
+	e := newEnv(t, 2, 4)
+	err := e.run(t, func(self *abt.ULT) error {
+		c, err := NewClient(e.cli, e.infos, Options{BatchSize: 8})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 400; i++ {
+			k := EventKey{DataSet: "ds", Run: uint64(i), SubRun: 0, Event: uint64(i)}
+			if err := c.StoreEvent(self, k, []byte("x")); err != nil {
+				return err
+			}
+		}
+		return c.Flush(self)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every database should have received a share.
+	for si, s := range e.servers {
+		for _, id := range s.DBIDs {
+			n, err := s.Sdskv.LocalLength(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				t.Errorf("server %d db %d received no events", si, id)
+			}
+		}
+	}
+}
+
+func TestBatchSizeControlsRPCCount(t *testing.T) {
+	// With one database, storing N events at batch size B issues about
+	// N/B put_packed RPCs; batch size 1 issues N.
+	countRPCs := func(batchSize int) uint64 {
+		e := newEnv(t, 1, 1)
+		const events = 64
+		if err := e.run(t, func(self *abt.ULT) error {
+			c, err := NewClient(e.cli, e.infos, Options{BatchSize: batchSize})
+			if err != nil {
+				return err
+			}
+			for i := 0; i < events; i++ {
+				k := EventKey{DataSet: "b", Event: uint64(i)}
+				if err := c.StoreEvent(self, k, []byte("v")); err != nil {
+					return err
+				}
+			}
+			return c.Flush(self)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		e.cli.WaitIdle(2 * time.Second)
+		time.Sleep(10 * time.Millisecond)
+		bc := core.Breadcrumb(0).Push(sdskv.RPCPutPacked)
+		var count uint64
+		for k, s := range e.cli.Profiler().OriginStats() {
+			if k.BC == bc {
+				count += s.Count
+			}
+		}
+		return count
+	}
+	if got := countRPCs(64); got != 1 {
+		t.Fatalf("batch 64: %d RPCs, want 1", got)
+	}
+	if got := countRPCs(1); got != 64 {
+		t.Fatalf("batch 1: %d RPCs, want 64", got)
+	}
+}
+
+func TestClientRequiresDatabases(t *testing.T) {
+	e := newEnv(t, 1, 1)
+	if _, err := NewClient(e.cli, nil, Options{BatchSize: 4}); err == nil {
+		t.Fatal("client with no servers accepted")
+	}
+	_ = mercury.Void{}
+}
+
+func TestDiscoverViaSSG(t *testing.T) {
+	// Bootstrap a client from an SSG group instead of hand-wired
+	// ServerInfo: servers join the group, the client observes it and
+	// asks each member to enumerate its databases.
+	e := newEnv(t, 2, 3)
+
+	// Host the group on the first server and have both servers join.
+	host, err := ssg.NewHost(e.servers[0].Inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := host.Create("hepnos", true); err != nil {
+		t.Fatal(err)
+	}
+	joiner, err := ssg.NewClient(e.servers[1].Inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ju := e.servers[1].Inst.Run("join", func(self *abt.ULT) {
+		if _, _, err := joiner.Join(self, e.servers[0].Addr(), "hepnos", ""); err != nil {
+			t.Errorf("join: %v", err)
+		}
+	})
+	ju.Join(nil)
+
+	// Client: observe the group, discover databases, store events.
+	obsClient, err := ssg.NewClient(e.cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.run(t, func(self *abt.ULT) error {
+		view, err := obsClient.Observe(self, e.servers[0].Addr(), "hepnos")
+		if err != nil {
+			return err
+		}
+		if view.Size() != 2 {
+			t.Errorf("view size = %d", view.Size())
+		}
+		infos, err := Discover(e.cli, self, view.Addrs())
+		if err != nil {
+			return err
+		}
+		total := 0
+		for _, info := range infos {
+			total += len(info.DBIDs)
+		}
+		if total != 6 {
+			t.Errorf("discovered %d databases, want 6", total)
+		}
+		c, err := NewClient(e.cli, infos, Options{BatchSize: 8})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 40; i++ {
+			k := EventKey{DataSet: "disc", Event: uint64(i)}
+			if err := c.StoreEvent(self, k, []byte("v")); err != nil {
+				return err
+			}
+		}
+		return c.Flush(self)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range e.servers {
+		total += s.StoredEvents()
+	}
+	if total != 40 {
+		t.Fatalf("stored %d events via discovered deployment", total)
+	}
+}

@@ -1,0 +1,387 @@
+// Package mobject reimplements Mobject, the composed Mochi object store
+// of the paper's §V-A: a distributed service exposing a RADOS-like
+// write_op/read_op API. Each Mobject provider node hosts three
+// colocated providers — the client-facing Mobject sequencer, a BAKE
+// provider for object data, and an SDSKV provider for metadata (paper
+// Figure 4). The sequencer translates every object operation into a
+// chain of BAKE and SDSKV RPCs issued to its own node, so control always
+// returns to the sequencer between steps and the distributed callpath
+// profile shows mobject_*_op => {bake,sdskv}_*_rpc chains.
+//
+// One mobject_write_op decomposes into exactly 12 discrete microservice
+// calls (3 BAKE data-path calls, 6 SDSKV metadata puts/gets, a version
+// read-modify-write and an index scan), matching the request structure
+// SYMBIOSYS discovers in the paper's Figure 5 trace; one mobject_read_op
+// decomposes into 4 calls dominated by the omap extent listing, matching
+// the dominant callpath of Figure 6.
+package mobject
+
+import (
+	"fmt"
+	"time"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/mercury"
+	"symbiosys/internal/services/bake"
+	"symbiosys/internal/services/sdskv"
+)
+
+// RPC names exported by the Mobject sequencer provider.
+const (
+	RPCWriteOp = "mobject_write_op"
+	RPCReadOp  = "mobject_read_op"
+)
+
+// RPCNames lists the Mobject RPCs (for client registration).
+func RPCNames() []string { return []string{RPCWriteOp, RPCReadOp} }
+
+// Databases opened by the sequencer on its colocated SDSKV provider.
+const (
+	oidDB  = "mobject-oid"  // object name -> numeric oid
+	omapDB = "mobject-omap" // per-object metadata: extents, size, version
+)
+
+// ProviderNode is one Mobject provider process: sequencer + BAKE +
+// SDSKV, all registered on a single Margo server instance.
+type ProviderNode struct {
+	inst  *margo.Instance
+	bakeP *bake.Provider
+	kvP   *sdskv.Provider
+
+	// Clients the sequencer uses for its nested calls (to itself).
+	bakeC *bake.Client
+	kvC   *sdskv.Client
+
+	oidID  uint32
+	omapID uint32
+}
+
+// RegisterProviderNode installs the three providers on inst and opens
+// the sequencer's metadata databases on the given kv backend.
+func RegisterProviderNode(inst *margo.Instance, backend string) (*ProviderNode, error) {
+	n := &ProviderNode{inst: inst}
+	var err error
+	if n.bakeP, err = bake.RegisterProvider(inst, bake.Config{}); err != nil {
+		return nil, err
+	}
+	// The omap listing cost models RADOS-style iteration over object
+	// maps: each returned entry pays a scan+copy cost, which is what
+	// makes mobject_read_op => sdskv_list_keyvals_rpc the dominant
+	// callpath of the paper's Figure 6.
+	if n.kvP, err = sdskv.RegisterProvider(inst, sdskv.Config{
+		ListCostPerItem: 4 * time.Microsecond,
+	}); err != nil {
+		return nil, err
+	}
+	if n.bakeC, err = bake.NewClient(inst); err != nil {
+		return nil, err
+	}
+	if n.kvC, err = sdskv.NewClient(inst); err != nil {
+		return nil, err
+	}
+	if n.oidID, err = n.kvP.OpenLocal(oidDB, backend); err != nil {
+		return nil, err
+	}
+	if n.omapID, err = n.kvP.OpenLocal(omapDB, backend); err != nil {
+		return nil, err
+	}
+	if err := inst.Register(RPCWriteOp, n.handleWriteOp); err != nil {
+		return nil, err
+	}
+	if err := inst.Register(RPCReadOp, n.handleReadOp); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Wire types.
+
+type writeOpArgs struct {
+	Object string
+	Bulk   mercury.Bulk // client memory window holding the object data
+	Size   uint64
+}
+
+func (a *writeOpArgs) Proc(pr *mercury.Proc) error {
+	pr.String(&a.Object)
+	a.Bulk.Proc(pr)
+	pr.Uint64(&a.Size)
+	return pr.Err()
+}
+
+type readOpArgs struct {
+	Object string
+	Bulk   mercury.Bulk // client memory window to push the data into
+	Size   uint64
+}
+
+func (a *readOpArgs) Proc(pr *mercury.Proc) error {
+	pr.String(&a.Object)
+	a.Bulk.Proc(pr)
+	pr.Uint64(&a.Size)
+	return pr.Err()
+}
+
+type readOpResp struct{ Size uint64 }
+
+func (a *readOpResp) Proc(pr *mercury.Proc) error { return pr.Uint64(&a.Size) }
+
+// extentMeta is the omap value describing where an object's data lives.
+type extentMeta struct {
+	RID  uint64
+	Size uint64
+}
+
+func (e *extentMeta) Proc(pr *mercury.Proc) error {
+	pr.Uint64(&e.RID)
+	pr.Uint64(&e.Size)
+	return pr.Err()
+}
+
+// omap key helpers.
+func extentKey(obj string) []byte  { return []byte("omap/" + obj + "/extent/0") }
+func sizeKey(obj string) []byte    { return []byte("omap/" + obj + "/size") }
+func mtimeKey(obj string) []byte   { return []byte("omap/" + obj + "/mtime") }
+func versionKey(obj string) []byte { return []byte("omap/" + obj + "/version") }
+func omapPrefix(obj string) []byte { return []byte("omap/" + obj + "/") }
+
+// handleWriteOp services one RADOS-like write: the 12-step sequence the
+// paper's trace study discovers. Step numbering is in the comments.
+func (n *ProviderNode) handleWriteOp(ctx *margo.Context) {
+	var in writeOpArgs
+	if err := ctx.GetInput(&in); err != nil {
+		ctx.RespondError("mobject: %v", err)
+		return
+	}
+	self := n.inst.Addr()
+
+	// 1. sdskv_get_rpc: resolve the object's oid in the name index.
+	oidRaw, found, err := n.kvC.Get(ctx.Self, self, n.oidID, []byte(in.Object))
+	if err != nil {
+		ctx.RespondError("mobject: oid lookup: %v", err)
+		return
+	}
+	oid := fmt.Sprintf("%x", oidHash(in.Object))
+	_ = oidRaw
+	_ = found
+
+	// 2. sdskv_put_rpc: create or refresh the name-index entry.
+	if err := n.kvC.Put(ctx.Self, self, n.oidID, []byte(in.Object), []byte(oid)); err != nil {
+		ctx.RespondError("mobject: oid put: %v", err)
+		return
+	}
+
+	// 3. bake_create_rpc: allocate a region for the object data.
+	rid, err := n.bakeC.Create(ctx.Self, self, in.Size)
+	if err != nil {
+		ctx.RespondError("mobject: bake create: %v", err)
+		return
+	}
+
+	// 4. bake_write_rpc: BAKE pulls the data straight from client
+	//    memory (RDMA between BAKE and the end-client, paper §V-A1).
+	if err := n.writeFromClient(ctx, rid, in); err != nil {
+		ctx.RespondError("mobject: bake write: %v", err)
+		return
+	}
+
+	// 5. bake_persist_rpc: flush the region.
+	if err := n.bakeC.Persist(ctx.Self, self, rid); err != nil {
+		ctx.RespondError("mobject: bake persist: %v", err)
+		return
+	}
+
+	// 6. bake_get_size_rpc: confirm the stored extent length.
+	storedSize, err := n.bakeC.GetSize(ctx.Self, self, rid)
+	if err != nil {
+		ctx.RespondError("mobject: bake get_size: %v", err)
+		return
+	}
+
+	// 7. sdskv_put_rpc: record the extent mapping in the omap.
+	ext := extentMeta{RID: rid, Size: storedSize}
+	extBuf, _ := mercury.Encode(&ext)
+	if err := n.kvC.Put(ctx.Self, self, n.omapID, extentKey(in.Object), extBuf); err != nil {
+		ctx.RespondError("mobject: omap extent put: %v", err)
+		return
+	}
+
+	// 8. sdskv_put_rpc: record the object size.
+	if err := n.kvC.Put(ctx.Self, self, n.omapID, sizeKey(in.Object),
+		[]byte(fmt.Sprint(storedSize))); err != nil {
+		ctx.RespondError("mobject: omap size put: %v", err)
+		return
+	}
+
+	// 9. sdskv_put_rpc: record the modification time.
+	if err := n.kvC.Put(ctx.Self, self, n.omapID, mtimeKey(in.Object),
+		[]byte("mtime")); err != nil {
+		ctx.RespondError("mobject: omap mtime put: %v", err)
+		return
+	}
+
+	// 10. sdskv_get_rpc: read the object version.
+	verRaw, _, err := n.kvC.Get(ctx.Self, self, n.omapID, versionKey(in.Object))
+	if err != nil {
+		ctx.RespondError("mobject: version get: %v", err)
+		return
+	}
+	version := len(verRaw) + 1 // monotonically growing marker
+
+	// 11. sdskv_put_rpc: bump the version.
+	if err := n.kvC.Put(ctx.Self, self, n.omapID, versionKey(in.Object),
+		make([]byte, version)); err != nil {
+		ctx.RespondError("mobject: version put: %v", err)
+		return
+	}
+
+	// 12. sdskv_list_keyvals_rpc: scan the object's omap entries to
+	//     refresh the sequencer's view (the index-verification step).
+	if _, _, err := n.kvC.ListKeyvals(ctx.Self, self, n.omapID, omapPrefix(in.Object), 16); err != nil {
+		ctx.RespondError("mobject: omap scan: %v", err)
+		return
+	}
+
+	ctx.Respond(mercury.Void{})
+}
+
+// writeFromClient performs the real step-4 transfer: BAKE pulls in.Size
+// bytes from the client's bulk window into the region.
+func (n *ProviderNode) writeFromClient(ctx *margo.Context, rid uint64, in writeOpArgs) error {
+	// Forward the client's bulk descriptor to the colocated BAKE
+	// provider; BAKE's handler pulls from client memory one-sidedly.
+	args := struct {
+		RID       uint64
+		RegionOff uint64
+		Bulk      mercury.Bulk
+		BulkOff   uint64
+		Size      uint64
+	}{RID: rid, Bulk: in.Bulk, Size: in.Size}
+	wire := bakeWriteArgs(args)
+	return ctx.Forward(n.inst.Addr(), bake.RPCWrite, &wire, nil)
+}
+
+// bakeWriteArgs mirrors bake's write wire format (the descriptor shape
+// is part of BAKE's public protocol).
+type bakeWriteArgs struct {
+	RID       uint64
+	RegionOff uint64
+	Bulk      mercury.Bulk
+	BulkOff   uint64
+	Size      uint64
+}
+
+func (a *bakeWriteArgs) Proc(pr *mercury.Proc) error {
+	pr.Uint64(&a.RID)
+	pr.Uint64(&a.RegionOff)
+	a.Bulk.Proc(pr)
+	pr.Uint64(&a.BulkOff)
+	pr.Uint64(&a.Size)
+	return pr.Err()
+}
+
+// handleReadOp services one RADOS-like read: 4 discrete calls with the
+// omap listing dominant (paper Figure 6).
+func (n *ProviderNode) handleReadOp(ctx *margo.Context) {
+	var in readOpArgs
+	if err := ctx.GetInput(&in); err != nil {
+		ctx.RespondError("mobject: %v", err)
+		return
+	}
+	self := n.inst.Addr()
+
+	// 1. sdskv_get_rpc: resolve the oid.
+	if _, found, err := n.kvC.Get(ctx.Self, self, n.oidID, []byte(in.Object)); err != nil {
+		ctx.RespondError("mobject: oid lookup: %v", err)
+		return
+	} else if !found {
+		ctx.RespondError("mobject: no such object %q", in.Object)
+		return
+	}
+
+	// 2. sdskv_list_keyvals_rpc: list the object's omap entries to find
+	//    its extents — the dominant step of mobject_read_op.
+	keys, vals, err := n.kvC.ListKeyvals(ctx.Self, self, n.omapID, omapPrefix(in.Object), 64)
+	if err != nil {
+		ctx.RespondError("mobject: omap list: %v", err)
+		return
+	}
+	var ext extentMeta
+	foundExt := false
+	for i, k := range keys {
+		if string(k) == string(extentKey(in.Object)) {
+			if err := mercury.Decode(vals[i], &ext); err != nil {
+				ctx.RespondError("mobject: extent decode: %v", err)
+				return
+			}
+			foundExt = true
+			break
+		}
+	}
+	if !foundExt {
+		ctx.RespondError("mobject: object %q has no extents", in.Object)
+		return
+	}
+
+	// 3. bake_read_rpc: BAKE pushes the data into client memory.
+	size := ext.Size
+	if in.Size < size {
+		size = in.Size
+	}
+	rargs := bakeWriteArgs{RID: ext.RID, Bulk: in.Bulk, Size: size}
+	if err := ctx.Forward(self, bake.RPCRead, &rargs, nil); err != nil {
+		ctx.RespondError("mobject: bake read: %v", err)
+		return
+	}
+
+	// 4. sdskv_get_rpc: fetch the object size for the reply.
+	if _, _, err := n.kvC.Get(ctx.Self, self, n.omapID, sizeKey(in.Object)); err != nil {
+		ctx.RespondError("mobject: size get: %v", err)
+		return
+	}
+
+	ctx.Respond(&readOpResp{Size: size})
+}
+
+func oidHash(name string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Client is the origin-side Mobject API (the ior benchmark links this).
+type Client struct {
+	inst *margo.Instance
+}
+
+// NewClient wires the Mobject RPCs into a Margo instance.
+func NewClient(inst *margo.Instance) (*Client, error) {
+	if err := inst.RegisterClient(RPCNames()...); err != nil {
+		return nil, err
+	}
+	return &Client{inst: inst}, nil
+}
+
+// WriteOp stores an object: data is exposed for BAKE's one-sided pull.
+func (c *Client) WriteOp(self *abt.ULT, target, object string, data []byte) error {
+	bulk := c.inst.BulkCreate(data)
+	defer c.inst.BulkFree(bulk)
+	args := writeOpArgs{Object: object, Bulk: bulk, Size: uint64(len(data))}
+	return c.inst.Forward(self, target, RPCWriteOp, &args, nil)
+}
+
+// ReadOp reads an object into buf, returning the bytes filled.
+func (c *Client) ReadOp(self *abt.ULT, target, object string, buf []byte) (uint64, error) {
+	bulk := c.inst.BulkCreate(buf)
+	defer c.inst.BulkFree(bulk)
+	args := readOpArgs{Object: object, Bulk: bulk, Size: uint64(len(buf))}
+	var out readOpResp
+	if err := c.inst.Forward(self, target, RPCReadOp, &args, &out); err != nil {
+		return 0, err
+	}
+	return out.Size, nil
+}

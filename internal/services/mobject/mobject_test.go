@@ -1,0 +1,223 @@
+package mobject
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/core"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/na"
+)
+
+type env struct {
+	srv, cli *margo.Instance
+	node     *ProviderNode
+	client   *Client
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	f := na.NewFabric(na.DefaultConfig())
+	srv, err := margo.New(margo.Options{
+		Mode: margo.ModeServer, Node: "n1", Name: "mobject", Fabric: f,
+		HandlerStreams: 8, Stage: core.StageFull,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := margo.New(margo.Options{
+		Mode: margo.ModeClient, Node: "n0", Name: "ior", Fabric: f, Stage: core.StageFull,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Shutdown(); srv.Shutdown() })
+	node, err := RegisterProviderNode(srv, "map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{srv: srv, cli: cli, node: node, client: client}
+}
+
+func (e *env) run(t *testing.T, fn func(self *abt.ULT) error) error {
+	t.Helper()
+	var err error
+	u := e.cli.Run("t", func(self *abt.ULT) { err = fn(self) })
+	if jerr := u.Join(nil); jerr != nil {
+		t.Fatal(jerr)
+	}
+	return err
+}
+
+func TestWriteThenReadObject(t *testing.T) {
+	e := newEnv(t)
+	data := bytes.Repeat([]byte("0123456789abcdef"), 64) // 1 KiB
+	err := e.run(t, func(self *abt.ULT) error {
+		if err := e.client.WriteOp(self, e.srv.Addr(), "obj-A", data); err != nil {
+			return err
+		}
+		buf := make([]byte, len(data))
+		n, err := e.client.ReadOp(self, e.srv.Addr(), "obj-A", buf)
+		if err != nil {
+			return err
+		}
+		if n != uint64(len(data)) || !bytes.Equal(buf, data) {
+			t.Errorf("read = %d bytes, equal=%v", n, bytes.Equal(buf, data))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadMissingObjectFails(t *testing.T) {
+	e := newEnv(t)
+	err := e.run(t, func(self *abt.ULT) error {
+		_, err := e.client.ReadOp(self, e.srv.Addr(), "ghost", make([]byte, 8))
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "no such object") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriteOpProduces12DiscreteSubCalls(t *testing.T) {
+	// The paper's Figure 5 discovers 12 discrete SDSKV/BAKE calls per
+	// mobject_write_op. Count nested origin-profile entries under the
+	// mobject_write_op breadcrumb on the provider node.
+	e := newEnv(t)
+	if err := e.run(t, func(self *abt.ULT) error {
+		return e.client.WriteOp(self, e.srv.Addr(), "obj-X", []byte("payload"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.srv.WaitIdle(2 * time.Second)
+	time.Sleep(20 * time.Millisecond)
+
+	parent := core.Breadcrumb(0).Push(RPCWriteOp)
+	var calls uint64
+	perRPC := map[string]uint64{}
+	names := e.srv.Profiler().Names()
+	for k, s := range e.srv.Profiler().OriginStats() {
+		if k.BC.Parent() == parent {
+			calls += s.Count
+			if n, ok := names.Name(k.BC.Leaf()); ok {
+				perRPC[n] += s.Count
+			}
+		}
+	}
+	if calls != 12 {
+		t.Fatalf("write_op produced %d sub-calls (%v), want 12", calls, perRPC)
+	}
+	// Structure: 3 BAKE calls + put/get/list mix on SDSKV.
+	if perRPC["bake_create_rpc"] != 1 || perRPC["bake_write_rpc"] != 1 ||
+		perRPC["bake_persist_rpc"] != 1 || perRPC["bake_get_size_rpc"] != 1 {
+		t.Fatalf("bake call mix wrong: %v", perRPC)
+	}
+	if perRPC["sdskv_put_rpc"] != 5 || perRPC["sdskv_get_rpc"] != 2 ||
+		perRPC["sdskv_list_keyvals_rpc"] != 1 {
+		t.Fatalf("sdskv call mix wrong: %v", perRPC)
+	}
+}
+
+func TestReadOpProduces4SubCalls(t *testing.T) {
+	e := newEnv(t)
+	if err := e.run(t, func(self *abt.ULT) error {
+		if err := e.client.WriteOp(self, e.srv.Addr(), "obj-R", []byte("data")); err != nil {
+			return err
+		}
+		_, err := e.client.ReadOp(self, e.srv.Addr(), "obj-R", make([]byte, 4))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.srv.WaitIdle(2 * time.Second)
+	time.Sleep(20 * time.Millisecond)
+
+	parent := core.Breadcrumb(0).Push(RPCReadOp)
+	var calls uint64
+	for k, s := range e.srv.Profiler().OriginStats() {
+		if k.BC.Parent() == parent {
+			calls += s.Count
+		}
+	}
+	if calls != 4 {
+		t.Fatalf("read_op produced %d sub-calls, want 4", calls)
+	}
+}
+
+func TestTraceContainsFullRequestStructure(t *testing.T) {
+	// A single write_op trace must contain target events for all 12
+	// sub-calls sharing the top-level request ID (the Figure 5 Gantt).
+	e := newEnv(t)
+	if err := e.run(t, func(self *abt.ULT) error {
+		return e.client.WriteOp(self, e.srv.Addr(), "obj-T", []byte("x"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.srv.WaitIdle(2 * time.Second)
+
+	var reqID uint64
+	for _, ev := range e.cli.Profiler().Tracer().Events() {
+		if ev.Kind == core.EvOriginStart && ev.RPCName == RPCWriteOp {
+			reqID = ev.RequestID
+		}
+	}
+	if reqID == 0 {
+		t.Fatal("no origin start event for write_op")
+	}
+	nested := 0
+	for _, ev := range e.srv.Profiler().Tracer().Events() {
+		if ev.RequestID == reqID && ev.Kind == core.EvTargetStart && ev.RPCName != RPCWriteOp {
+			nested++
+		}
+	}
+	if nested != 12 {
+		t.Fatalf("trace shows %d nested target starts, want 12", nested)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	e := newEnv(t)
+	const n = 8
+	ults := make([]*abt.ULT, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		idx := i
+		obj := string(rune('a' + i))
+		ults[i] = e.cli.Run("w", func(self *abt.ULT) {
+			errs[idx] = e.client.WriteOp(self, e.srv.Addr(), obj, []byte(obj))
+		})
+	}
+	for i, u := range ults {
+		u.Join(nil)
+		if errs[i] != nil {
+			t.Fatalf("writer %d: %v", i, errs[i])
+		}
+	}
+	// All objects readable.
+	err := e.run(t, func(self *abt.ULT) error {
+		for i := 0; i < n; i++ {
+			obj := string(rune('a' + i))
+			buf := make([]byte, 1)
+			if _, err := e.client.ReadOp(self, e.srv.Addr(), obj, buf); err != nil {
+				return err
+			}
+			if buf[0] != obj[0] {
+				t.Errorf("object %s read %q", obj, buf)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package sdskv
+
+import (
+	"symbiosys/internal/abt"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/mercury"
+)
+
+// Client is the origin-side SDSKV API.
+type Client struct {
+	inst *margo.Instance
+}
+
+// NewClient wires SDSKV RPCs into a Margo instance and returns a client.
+func NewClient(inst *margo.Instance) (*Client, error) {
+	if err := inst.RegisterClient(RPCNames()...); err != nil {
+		return nil, err
+	}
+	return &Client{inst: inst}, nil
+}
+
+// Open creates (or errors on duplicate) a named database at the target.
+func (c *Client) Open(self *abt.ULT, target, name, backend string) (uint32, error) {
+	var out openResp
+	err := c.inst.Forward(self, target, RPCOpen, &openArgs{Name: name, Backend: backend}, &out)
+	if err != nil {
+		return 0, err
+	}
+	return out.DBID, nil
+}
+
+// Put stores one key-value pair.
+func (c *Client) Put(self *abt.ULT, target string, db uint32, key, value []byte) error {
+	return c.inst.Forward(self, target, RPCPut, &putArgs{DBID: db, Key: key, Value: value}, nil)
+}
+
+// Get retrieves the value stored under key.
+func (c *Client) Get(self *abt.ULT, target string, db uint32, key []byte) ([]byte, bool, error) {
+	var out getResp
+	if err := c.inst.Forward(self, target, RPCGet, &getArgs{DBID: db, Key: key}, &out); err != nil {
+		return nil, false, err
+	}
+	return out.Value, out.Found, nil
+}
+
+// PutPacked stores a batch of pairs with a single RPC: the pairs are
+// packed into one buffer exposed for the target's bulk pull — the
+// HEPnOS data-loader hot path (paper §V-C1).
+func (c *Client) PutPacked(self *abt.ULT, target string, db uint32, keys, values [][]byte) error {
+	batch := packedBatch{Keys: keys, Values: values}
+	buf, err := mercury.Encode(&batch)
+	if err != nil {
+		return err
+	}
+	bulk := c.inst.BulkCreate(buf)
+	defer c.inst.BulkFree(bulk)
+	args := putPackedArgs{
+		DBID:    db,
+		NumKeys: uint32(len(keys)),
+		Bulk:    bulk,
+		Size:    uint64(len(buf)),
+	}
+	return c.inst.Forward(self, target, RPCPutPacked, &args, nil)
+}
+
+// ListKeyvals returns up to max pairs with keys >= start.
+func (c *Client) ListKeyvals(self *abt.ULT, target string, db uint32, start []byte, max int) ([][]byte, [][]byte, error) {
+	var out listResp
+	args := listArgs{DBID: db, StartKey: start, MaxKeys: uint32(max)}
+	if err := c.inst.Forward(self, target, RPCListKeyvals, &args, &out); err != nil {
+		return nil, nil, err
+	}
+	return out.Keys, out.Values, nil
+}
+
+// Length reports the number of pairs in the database.
+func (c *Client) Length(self *abt.ULT, target string, db uint32) (uint64, error) {
+	var out lengthResp
+	if err := c.inst.Forward(self, target, RPCLength, &openResp{DBID: db}, &out); err != nil {
+		return 0, err
+	}
+	return out.N, nil
+}
+
+// ListDatabases enumerates the databases a provider hosts, in id order.
+func (c *Client) ListDatabases(self *abt.ULT, target string) (ids []uint32, names []string, err error) {
+	var out listDBsResp
+	if err := c.inst.Forward(self, target, RPCListDBs, &mercury.Void{}, &out); err != nil {
+		return nil, nil, err
+	}
+	ids = make([]uint32, len(out.IDs))
+	for i, id := range out.IDs {
+		ids[i] = uint32(id)
+	}
+	return ids, out.Names, nil
+}
+
+// Erase removes a key.
+func (c *Client) Erase(self *abt.ULT, target string, db uint32, key []byte) error {
+	return c.inst.Forward(self, target, RPCErase, &getArgs{DBID: db, Key: key}, nil)
+}

@@ -1,0 +1,473 @@
+// Package sdskv reimplements SDSKV, the Mochi microservice exposing
+// RPC-based access to multiple key-value databases (paper §III-A, §V-C).
+// A provider hosts any number of named databases, each on one of the kv
+// backends; clients address databases by id. Writes to backends that do
+// not support parallel insertion (the "map" backend of the paper) are
+// serialized through a ULT mutex per database, so contention surfaces as
+// blocked ULTs in the Argobots pool — exactly the saturation signature
+// SYMBIOSYS samples in the paper's Figure 10.
+//
+// sdskv_put_packed mirrors the HEPnOS hot path: the client packs a batch
+// of key-value pairs into one buffer, sends only its bulk descriptor,
+// and the target pulls the content one-sidedly before inserting.
+package sdskv
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/kv"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/mercury"
+)
+
+// RPC names exported by the SDSKV provider.
+const (
+	RPCOpen        = "sdskv_open_rpc"
+	RPCPut         = "sdskv_put_rpc"
+	RPCGet         = "sdskv_get_rpc"
+	RPCPutPacked   = "sdskv_put_packed_rpc"
+	RPCListKeyvals = "sdskv_list_keyvals_rpc"
+	RPCLength      = "sdskv_length_rpc"
+	RPCErase       = "sdskv_erase_rpc"
+	RPCListDBs     = "sdskv_list_databases_rpc"
+)
+
+// RPCNames lists every SDSKV RPC (for client registration).
+func RPCNames() []string {
+	return []string{RPCOpen, RPCPut, RPCGet, RPCPutPacked, RPCListKeyvals, RPCLength, RPCErase, RPCListDBs}
+}
+
+// Config models backend insertion costs.
+type Config struct {
+	// PutCostPerKey is the modeled backend insert time per key-value
+	// pair. It is charged while holding the database write lock on
+	// serial backends, which is what makes a flood of small puts to the
+	// same database serialize (paper §V-C3). Default 4µs.
+	PutCostPerKey time.Duration
+	// GetCostPerKey is the modeled lookup time. Default 1µs.
+	GetCostPerKey time.Duration
+	// ListCostPerItem is the modeled per-returned-item scan cost.
+	// Default 1µs.
+	ListCostPerItem time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.PutCostPerKey <= 0 {
+		c.PutCostPerKey = 4 * time.Microsecond
+	}
+	if c.GetCostPerKey <= 0 {
+		c.GetCostPerKey = time.Microsecond
+	}
+	if c.ListCostPerItem <= 0 {
+		c.ListCostPerItem = time.Microsecond
+	}
+}
+
+// Provider is an SDSKV target hosting multiple databases.
+type Provider struct {
+	cfg Config
+
+	mu     sync.Mutex
+	dbs    map[uint32]*database
+	byName map[string]uint32
+	nextID uint32
+}
+
+type database struct {
+	db kv.DB
+	// wlock serializes writers on backends without parallel insertion;
+	// nil when the backend supports concurrent writes.
+	wlock *abt.Mutex
+}
+
+// RegisterProvider installs an SDSKV provider on a Margo server.
+func RegisterProvider(inst *margo.Instance, cfg Config) (*Provider, error) {
+	cfg.fillDefaults()
+	p := &Provider{
+		cfg:    cfg,
+		dbs:    make(map[uint32]*database),
+		byName: make(map[string]uint32),
+	}
+	handlers := map[string]margo.HandlerFunc{
+		RPCOpen:        p.handleOpen,
+		RPCPut:         p.handlePut,
+		RPCGet:         p.handleGet,
+		RPCPutPacked:   p.handlePutPacked,
+		RPCListKeyvals: p.handleList,
+		RPCLength:      p.handleLength,
+		RPCErase:       p.handleErase,
+		RPCListDBs:     p.handleListDBs,
+	}
+	for name, fn := range handlers {
+		if err := inst.Register(name, fn); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// OpenLocal creates a database directly on the provider (server setup
+// path, avoiding an RPC for the provider's own initialization).
+func (p *Provider) OpenLocal(name, backend string) (uint32, error) {
+	db, err := kv.Open(backend, name)
+	if err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id, dup := p.byName[name]; dup {
+		db.Close()
+		return id, fmt.Errorf("sdskv: database %q already open", name)
+	}
+	p.nextID++
+	id := p.nextID
+	d := &database{db: db}
+	if !db.ConcurrentWrites() {
+		d.wlock = abt.NewMutex()
+	}
+	p.dbs[id] = d
+	p.byName[name] = id
+	return id, nil
+}
+
+// LocalLength reports the pair count of a database without an RPC
+// (server-side validation path).
+func (p *Provider) LocalLength(id uint32) (int, error) {
+	d, ok := p.database(id)
+	if !ok {
+		return 0, fmt.Errorf("sdskv: unknown database %d", id)
+	}
+	return d.db.Len(), nil
+}
+
+// NumDatabases reports how many databases the provider hosts.
+func (p *Provider) NumDatabases() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.dbs)
+}
+
+func (p *Provider) database(id uint32) (*database, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d, ok := p.dbs[id]
+	return d, ok
+}
+
+// Wire types.
+
+type openArgs struct {
+	Name    string
+	Backend string
+}
+
+func (a *openArgs) Proc(pr *mercury.Proc) error {
+	pr.String(&a.Name)
+	pr.String(&a.Backend)
+	return pr.Err()
+}
+
+type openResp struct{ DBID uint32 }
+
+func (a *openResp) Proc(pr *mercury.Proc) error { return pr.Uint32(&a.DBID) }
+
+type putArgs struct {
+	DBID  uint32
+	Key   []byte
+	Value []byte
+}
+
+func (a *putArgs) Proc(pr *mercury.Proc) error {
+	pr.Uint32(&a.DBID)
+	pr.Bytes(&a.Key)
+	pr.Bytes(&a.Value)
+	return pr.Err()
+}
+
+type getArgs struct {
+	DBID uint32
+	Key  []byte
+}
+
+func (a *getArgs) Proc(pr *mercury.Proc) error {
+	pr.Uint32(&a.DBID)
+	pr.Bytes(&a.Key)
+	return pr.Err()
+}
+
+type getResp struct {
+	Found bool
+	Value []byte
+}
+
+func (a *getResp) Proc(pr *mercury.Proc) error {
+	pr.Bool(&a.Found)
+	pr.Bytes(&a.Value)
+	return pr.Err()
+}
+
+type putPackedArgs struct {
+	DBID    uint32
+	NumKeys uint32
+	Bulk    mercury.Bulk
+	Size    uint64
+}
+
+func (a *putPackedArgs) Proc(pr *mercury.Proc) error {
+	pr.Uint32(&a.DBID)
+	pr.Uint32(&a.NumKeys)
+	a.Bulk.Proc(pr)
+	pr.Uint64(&a.Size)
+	return pr.Err()
+}
+
+type listArgs struct {
+	DBID     uint32
+	StartKey []byte
+	MaxKeys  uint32
+}
+
+func (a *listArgs) Proc(pr *mercury.Proc) error {
+	pr.Uint32(&a.DBID)
+	pr.Bytes(&a.StartKey)
+	pr.Uint32(&a.MaxKeys)
+	return pr.Err()
+}
+
+type listResp struct {
+	Keys   [][]byte
+	Values [][]byte
+}
+
+func (a *listResp) Proc(pr *mercury.Proc) error {
+	pr.BytesSlice(&a.Keys)
+	pr.BytesSlice(&a.Values)
+	return pr.Err()
+}
+
+type lengthResp struct{ N uint64 }
+
+func (a *lengthResp) Proc(pr *mercury.Proc) error { return pr.Uint64(&a.N) }
+
+// packedBatch is the packed put payload pulled over bulk.
+type packedBatch struct {
+	Keys   [][]byte
+	Values [][]byte
+}
+
+func (b *packedBatch) Proc(pr *mercury.Proc) error {
+	pr.BytesSlice(&b.Keys)
+	pr.BytesSlice(&b.Values)
+	return pr.Err()
+}
+
+// Handlers.
+
+func (p *Provider) handleOpen(ctx *margo.Context) {
+	var in openArgs
+	if err := ctx.GetInput(&in); err != nil {
+		ctx.RespondError("sdskv: %v", err)
+		return
+	}
+	id, err := p.OpenLocal(in.Name, in.Backend)
+	if err != nil {
+		ctx.RespondError("sdskv: %v", err)
+		return
+	}
+	ctx.Respond(&openResp{DBID: id})
+}
+
+// withWriteLock runs fn with the database's write serialization held
+// (when the backend needs it), making backend contention visible as
+// blocked ULTs.
+func (d *database) withWriteLock(self *abt.ULT, fn func()) {
+	if d.wlock != nil {
+		d.wlock.Lock(self)
+		defer d.wlock.Unlock()
+	}
+	fn()
+}
+
+func (p *Provider) handlePut(ctx *margo.Context) {
+	var in putArgs
+	if err := ctx.GetInput(&in); err != nil {
+		ctx.RespondError("sdskv: %v", err)
+		return
+	}
+	d, ok := p.database(in.DBID)
+	if !ok {
+		ctx.RespondError("sdskv: unknown database %d", in.DBID)
+		return
+	}
+	var err error
+	d.withWriteLock(ctx.Self, func() {
+		ctx.Compute(p.cfg.PutCostPerKey)
+		err = d.db.Put(in.Key, in.Value)
+	})
+	if err != nil {
+		ctx.RespondError("sdskv: put: %v", err)
+		return
+	}
+	ctx.Respond(mercury.Void{})
+}
+
+func (p *Provider) handleGet(ctx *margo.Context) {
+	var in getArgs
+	if err := ctx.GetInput(&in); err != nil {
+		ctx.RespondError("sdskv: %v", err)
+		return
+	}
+	d, ok := p.database(in.DBID)
+	if !ok {
+		ctx.RespondError("sdskv: unknown database %d", in.DBID)
+		return
+	}
+	ctx.Compute(p.cfg.GetCostPerKey)
+	v, found, err := d.db.Get(in.Key)
+	if err != nil {
+		ctx.RespondError("sdskv: get: %v", err)
+		return
+	}
+	ctx.Respond(&getResp{Found: found, Value: v})
+}
+
+func (p *Provider) handlePutPacked(ctx *margo.Context) {
+	var in putPackedArgs
+	if err := ctx.GetInput(&in); err != nil {
+		ctx.RespondError("sdskv: %v", err)
+		return
+	}
+	d, ok := p.database(in.DBID)
+	if !ok {
+		ctx.RespondError("sdskv: unknown database %d", in.DBID)
+		return
+	}
+	// Pull the packed key-value content from client memory (the bulk
+	// transfer of Figure 2's execution phase).
+	buf := make([]byte, in.Size)
+	if err := ctx.BulkPull(in.Bulk, 0, buf); err != nil {
+		ctx.RespondError("sdskv: bulk pull: %v", err)
+		return
+	}
+	var batch packedBatch
+	if err := mercury.Decode(buf, &batch); err != nil {
+		ctx.RespondError("sdskv: unpack: %v", err)
+		return
+	}
+	if len(batch.Keys) != len(batch.Values) || uint32(len(batch.Keys)) != in.NumKeys {
+		ctx.RespondError("sdskv: packed batch shape mismatch")
+		return
+	}
+	var err error
+	d.withWriteLock(ctx.Self, func() {
+		ctx.Compute(time.Duration(len(batch.Keys)) * p.cfg.PutCostPerKey)
+		for i := range batch.Keys {
+			if err = d.db.Put(batch.Keys[i], batch.Values[i]); err != nil {
+				return
+			}
+		}
+	})
+	if err != nil {
+		ctx.RespondError("sdskv: put packed: %v", err)
+		return
+	}
+	ctx.Respond(mercury.Void{})
+}
+
+func (p *Provider) handleList(ctx *margo.Context) {
+	var in listArgs
+	if err := ctx.GetInput(&in); err != nil {
+		ctx.RespondError("sdskv: %v", err)
+		return
+	}
+	d, ok := p.database(in.DBID)
+	if !ok {
+		ctx.RespondError("sdskv: unknown database %d", in.DBID)
+		return
+	}
+	pairs, err := d.db.List(in.StartKey, int(in.MaxKeys))
+	if err != nil {
+		ctx.RespondError("sdskv: list: %v", err)
+		return
+	}
+	ctx.Compute(time.Duration(len(pairs)) * p.cfg.ListCostPerItem)
+	out := listResp{
+		Keys:   make([][]byte, len(pairs)),
+		Values: make([][]byte, len(pairs)),
+	}
+	for i, pr := range pairs {
+		out.Keys[i] = pr.Key
+		out.Values[i] = pr.Value
+	}
+	ctx.Respond(&out)
+}
+
+func (p *Provider) handleLength(ctx *margo.Context) {
+	var in openResp // just the db id
+	if err := ctx.GetInput(&in); err != nil {
+		ctx.RespondError("sdskv: %v", err)
+		return
+	}
+	d, ok := p.database(in.DBID)
+	if !ok {
+		ctx.RespondError("sdskv: unknown database %d", in.DBID)
+		return
+	}
+	ctx.Respond(&lengthResp{N: uint64(d.db.Len())})
+}
+
+type listDBsResp struct {
+	IDs   []uint64
+	Names []string
+}
+
+func (a *listDBsResp) Proc(pr *mercury.Proc) error {
+	pr.Uint64Slice(&a.IDs)
+	pr.StringSlice(&a.Names)
+	return pr.Err()
+}
+
+// handleListDBs enumerates the provider's databases — the discovery
+// path HEPnOS clients use after resolving a server through SSG.
+func (p *Provider) handleListDBs(ctx *margo.Context) {
+	p.mu.Lock()
+	out := listDBsResp{}
+	for name, id := range p.byName {
+		out.IDs = append(out.IDs, uint64(id))
+		out.Names = append(out.Names, name)
+	}
+	p.mu.Unlock()
+	// Sort by id for a stable view.
+	for i := 1; i < len(out.IDs); i++ {
+		for j := i; j > 0 && out.IDs[j-1] > out.IDs[j]; j-- {
+			out.IDs[j-1], out.IDs[j] = out.IDs[j], out.IDs[j-1]
+			out.Names[j-1], out.Names[j] = out.Names[j], out.Names[j-1]
+		}
+	}
+	ctx.Respond(&out)
+}
+
+func (p *Provider) handleErase(ctx *margo.Context) {
+	var in getArgs
+	if err := ctx.GetInput(&in); err != nil {
+		ctx.RespondError("sdskv: %v", err)
+		return
+	}
+	d, ok := p.database(in.DBID)
+	if !ok {
+		ctx.RespondError("sdskv: unknown database %d", in.DBID)
+		return
+	}
+	var err error
+	d.withWriteLock(ctx.Self, func() {
+		_, err = d.db.Delete(in.Key)
+	})
+	if err != nil {
+		ctx.RespondError("sdskv: erase: %v", err)
+		return
+	}
+	ctx.Respond(mercury.Void{})
+}

@@ -1,0 +1,260 @@
+package sdskv
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/na"
+)
+
+type env struct {
+	srv, cli *margo.Instance
+	prov     *Provider
+	client   *Client
+}
+
+func newEnv(t *testing.T, cfg Config) *env {
+	t.Helper()
+	f := na.NewFabric(na.DefaultConfig())
+	srv, err := margo.New(margo.Options{
+		Mode: margo.ModeServer, Node: "n1", Name: "sdskv", Fabric: f, HandlerStreams: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := margo.New(margo.Options{Mode: margo.ModeClient, Node: "n0", Name: "cli", Fabric: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Shutdown(); srv.Shutdown() })
+	prov, err := RegisterProvider(srv, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{srv: srv, cli: cli, prov: prov, client: client}
+}
+
+func (e *env) run(t *testing.T, fn func(self *abt.ULT) error) error {
+	t.Helper()
+	var err error
+	u := e.cli.Run("t", func(self *abt.ULT) { err = fn(self) })
+	if jerr := u.Join(nil); jerr != nil {
+		t.Fatal(jerr)
+	}
+	return err
+}
+
+func TestOpenPutGetEraseOverRPC(t *testing.T) {
+	e := newEnv(t, Config{})
+	err := e.run(t, func(self *abt.ULT) error {
+		db, err := e.client.Open(self, e.srv.Addr(), "db0", "map")
+		if err != nil {
+			return err
+		}
+		if err := e.client.Put(self, e.srv.Addr(), db, []byte("k1"), []byte("v1")); err != nil {
+			return err
+		}
+		v, found, err := e.client.Get(self, e.srv.Addr(), db, []byte("k1"))
+		if err != nil || !found || string(v) != "v1" {
+			t.Errorf("Get = %q %v %v", v, found, err)
+		}
+		if _, found, _ := e.client.Get(self, e.srv.Addr(), db, []byte("nope")); found {
+			t.Error("missing key found")
+		}
+		n, err := e.client.Length(self, e.srv.Addr(), db)
+		if err != nil || n != 1 {
+			t.Errorf("Length = %d %v", n, err)
+		}
+		if err := e.client.Erase(self, e.srv.Addr(), db, []byte("k1")); err != nil {
+			return err
+		}
+		if _, found, _ := e.client.Get(self, e.srv.Addr(), db, []byte("k1")); found {
+			t.Error("erased key still found")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenDuplicateAndUnknownBackend(t *testing.T) {
+	e := newEnv(t, Config{})
+	err := e.run(t, func(self *abt.ULT) error {
+		if _, err := e.client.Open(self, e.srv.Addr(), "dup", "map"); err != nil {
+			return err
+		}
+		if _, err := e.client.Open(self, e.srv.Addr(), "dup", "map"); err == nil {
+			t.Error("duplicate open accepted")
+		}
+		if _, err := e.client.Open(self, e.srv.Addr(), "x", "rocksdb"); err == nil {
+			t.Error("unknown backend accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownDatabaseErrors(t *testing.T) {
+	e := newEnv(t, Config{})
+	err := e.run(t, func(self *abt.ULT) error {
+		if err := e.client.Put(self, e.srv.Addr(), 42, []byte("k"), []byte("v")); err == nil {
+			t.Error("put to unknown db accepted")
+		} else if !strings.Contains(err.Error(), "unknown database") {
+			t.Errorf("err = %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutPackedRoundTrip(t *testing.T) {
+	e := newEnv(t, Config{})
+	const n = 200
+	err := e.run(t, func(self *abt.ULT) error {
+		db, err := e.client.Open(self, e.srv.Addr(), "packed", "map")
+		if err != nil {
+			return err
+		}
+		keys := make([][]byte, n)
+		vals := make([][]byte, n)
+		for i := range keys {
+			keys[i] = []byte(fmt.Sprintf("key-%04d", i))
+			vals[i] = []byte(fmt.Sprintf("val-%04d", i))
+		}
+		if err := e.client.PutPacked(self, e.srv.Addr(), db, keys, vals); err != nil {
+			return err
+		}
+		cnt, err := e.client.Length(self, e.srv.Addr(), db)
+		if err != nil || cnt != n {
+			t.Errorf("Length = %d %v", cnt, err)
+		}
+		v, found, err := e.client.Get(self, e.srv.Addr(), db, []byte("key-0123"))
+		if err != nil || !found || string(v) != "val-0123" {
+			t.Errorf("Get packed = %q %v %v", v, found, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListKeyvalsOrdered(t *testing.T) {
+	e := newEnv(t, Config{})
+	err := e.run(t, func(self *abt.ULT) error {
+		db, err := e.client.Open(self, e.srv.Addr(), "listdb", "map")
+		if err != nil {
+			return err
+		}
+		for _, k := range []string{"e", "a", "c", "b", "d"} {
+			if err := e.client.Put(self, e.srv.Addr(), db, []byte(k), []byte("v"+k)); err != nil {
+				return err
+			}
+		}
+		keys, vals, err := e.client.ListKeyvals(self, e.srv.Addr(), db, []byte("b"), 3)
+		if err != nil {
+			return err
+		}
+		want := []string{"b", "c", "d"}
+		if len(keys) != 3 {
+			t.Fatalf("keys = %v", keys)
+		}
+		for i := range want {
+			if string(keys[i]) != want[i] || string(vals[i]) != "v"+want[i] {
+				t.Errorf("list[%d] = %s=%s", i, keys[i], vals[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerialBackendBlocksConcurrentPuts(t *testing.T) {
+	// The map backend serializes writers through a ULT mutex; concurrent
+	// puts must pile up as blocked ULTs in the handler pool — the
+	// paper's Figure 10 signal.
+	cfg := Config{PutCostPerKey: 3 * time.Millisecond}
+	e := newEnv(t, cfg)
+	var db uint32
+	if err := e.run(t, func(self *abt.ULT) error {
+		var err error
+		db, err = e.client.Open(self, e.srv.Addr(), "serial", "map")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 6
+	done := make([]*abt.ULT, writers)
+	for i := 0; i < writers; i++ {
+		k := []byte(fmt.Sprintf("k%d", i))
+		done[i] = e.cli.Run("w", func(self *abt.ULT) {
+			e.client.Put(self, e.srv.Addr(), db, k, []byte("v"))
+		})
+	}
+	// While the writers contend, the handler pool must report blocked
+	// ULTs at some point.
+	deadline := time.Now().Add(5 * time.Second)
+	sawBlocked := false
+	for time.Now().Before(deadline) && !sawBlocked {
+		if e.srv.HandlerPool().Blocked() >= 2 {
+			sawBlocked = true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, u := range done {
+		u.Join(nil)
+	}
+	if !sawBlocked {
+		t.Fatal("no blocked handler ULTs observed under serialized backend contention")
+	}
+	if e.prov.NumDatabases() != 1 {
+		t.Fatalf("databases = %d", e.prov.NumDatabases())
+	}
+}
+
+func TestShardedBackendDoesNotSerialize(t *testing.T) {
+	cfg := Config{PutCostPerKey: 2 * time.Millisecond}
+	e := newEnv(t, cfg)
+	var db uint32
+	if err := e.run(t, func(self *abt.ULT) error {
+		var err error
+		db, err = e.client.Open(self, e.srv.Addr(), "conc", "shardedmap")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	const writers = 4
+	done := make([]*abt.ULT, writers)
+	for i := 0; i < writers; i++ {
+		k := []byte(fmt.Sprintf("k%d", i))
+		done[i] = e.cli.Run("w", func(self *abt.ULT) {
+			e.client.Put(self, e.srv.Addr(), db, k, []byte("v"))
+		})
+	}
+	for _, u := range done {
+		u.Join(nil)
+	}
+	elapsed := time.Since(start)
+	// 4 writers x 2ms on 4 handler streams should overlap: well under
+	// the 8ms serial floor.
+	if elapsed > 7*time.Millisecond*writers {
+		t.Fatalf("concurrent puts took %v, looks serialized", elapsed)
+	}
+}

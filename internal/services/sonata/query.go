@@ -1,0 +1,401 @@
+package sonata
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// This file implements the filter-expression engine standing in for the
+// Jx9 scripts of UnQLite-backed Sonata (paper §V-B). Expressions select
+// JSON documents by comparing dotted field paths against literals:
+//
+//	energy > 40.5 && detector.name == "endcap" || !(runs >= 3)
+//
+// Grammar (precedence low to high):
+//
+//	expr   := or
+//	or     := and ( "||" and )*
+//	and    := unary ( "&&" unary )*
+//	unary  := "!" unary | "(" expr ")" | cmp
+//	cmp    := path op literal
+//	op     := == | != | < | <= | > | >=
+//	literal:= number | "string" | true | false | null
+//
+// Missing fields make a comparison false (never an error), matching the
+// permissive semantics of document-store filters.
+
+// Expr is a compiled filter expression.
+type Expr struct {
+	root node
+	src  string
+}
+
+// String returns the source text of the expression.
+func (e *Expr) String() string { return e.src }
+
+// Eval applies the expression to a decoded JSON document.
+func (e *Expr) Eval(doc map[string]any) bool { return e.root.eval(doc) }
+
+// Compile parses a filter expression.
+func Compile(src string) (*Expr, error) {
+	p := &parser{toks: lex(src)}
+	n, err := p.parseExpr()
+	if err != nil {
+		return nil, fmt.Errorf("sonata: compile %q: %w", src, err)
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("sonata: compile %q: trailing input at %q", src, p.peek().text)
+	}
+	return &Expr{root: n, src: src}, nil
+}
+
+// MustCompile is Compile for known-good expressions (tests, examples).
+func MustCompile(src string) *Expr {
+	e, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// ---- lexer ----
+
+type tokKind int8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp     // == != < <= > >=
+	tokAnd    // &&
+	tokOr     // ||
+	tokNot    // !
+	tokLParen // (
+	tokRParen // )
+	tokBad
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(src string) []token {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")"})
+			i++
+		case strings.HasPrefix(src[i:], "&&"):
+			toks = append(toks, token{tokAnd, "&&"})
+			i += 2
+		case strings.HasPrefix(src[i:], "||"):
+			toks = append(toks, token{tokOr, "||"})
+			i += 2
+		case strings.HasPrefix(src[i:], "=="), strings.HasPrefix(src[i:], "!="),
+			strings.HasPrefix(src[i:], "<="), strings.HasPrefix(src[i:], ">="):
+			toks = append(toks, token{tokOp, src[i : i+2]})
+			i += 2
+		case c == '<' || c == '>':
+			toks = append(toks, token{tokOp, string(c)})
+			i++
+		case c == '!':
+			toks = append(toks, token{tokNot, "!"})
+			i++
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' && j+1 < len(src) {
+					j++
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				toks = append(toks, token{tokBad, "unterminated string"})
+				return toks
+			}
+			toks = append(toks, token{tokString, sb.String()})
+			i = j + 1
+		case c == '-' || c == '.' || unicode.IsDigit(rune(c)):
+			j := i
+			if src[j] == '-' {
+				j++
+			}
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.' || src[j] == 'e' ||
+				src[j] == 'E' || src[j] == '+' || (src[j] == '-' && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j]})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) ||
+				src[j] == '_' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j]})
+			i = j
+		default:
+			toks = append(toks, token{tokBad, string(c)})
+			return toks
+		}
+	}
+	toks = append(toks, token{tokEOF, ""})
+	return toks
+}
+
+// ---- parser ----
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) eof() bool   { return p.peek().kind == tokEOF }
+
+type node interface{ eval(doc map[string]any) bool }
+
+type orNode struct{ kids []node }
+
+func (n *orNode) eval(d map[string]any) bool {
+	for _, k := range n.kids {
+		if k.eval(d) {
+			return true
+		}
+	}
+	return false
+}
+
+type andNode struct{ kids []node }
+
+func (n *andNode) eval(d map[string]any) bool {
+	for _, k := range n.kids {
+		if !k.eval(d) {
+			return false
+		}
+	}
+	return true
+}
+
+type notNode struct{ kid node }
+
+func (n *notNode) eval(d map[string]any) bool { return !n.kid.eval(d) }
+
+type cmpNode struct {
+	path []string
+	op   string
+	lit  any // float64, string, bool, or nil
+}
+
+func (p *parser) parseExpr() (node, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (node, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	kids := []node{first}
+	for p.peek().kind == tokOr {
+		p.next()
+		n, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, n)
+	}
+	if len(kids) == 1 {
+		return first, nil
+	}
+	return &orNode{kids: kids}, nil
+}
+
+func (p *parser) parseAnd() (node, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	kids := []node{first}
+	for p.peek().kind == tokAnd {
+		p.next()
+		n, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, n)
+	}
+	if len(kids) == 1 {
+		return first, nil
+	}
+	return &andNode{kids: kids}, nil
+}
+
+func (p *parser) parseUnary() (node, error) {
+	switch p.peek().kind {
+	case tokNot:
+		p.next()
+		kid, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &notNode{kid: kid}, nil
+	case tokLParen:
+		p.next()
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("expected ')', got %q", p.peek().text)
+		}
+		p.next()
+		return n, nil
+	default:
+		return p.parseCmp()
+	}
+}
+
+func (p *parser) parseCmp() (node, error) {
+	id := p.next()
+	if id.kind != tokIdent {
+		return nil, fmt.Errorf("expected field path, got %q", id.text)
+	}
+	op := p.next()
+	if op.kind != tokOp {
+		return nil, fmt.Errorf("expected comparison operator, got %q", op.text)
+	}
+	lit := p.next()
+	n := &cmpNode{path: strings.Split(id.text, "."), op: op.text}
+	switch lit.kind {
+	case tokNumber:
+		f, err := strconv.ParseFloat(lit.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", lit.text)
+		}
+		n.lit = f
+	case tokString:
+		n.lit = lit.text
+	case tokIdent:
+		switch lit.text {
+		case "true":
+			n.lit = true
+		case "false":
+			n.lit = false
+		case "null":
+			n.lit = nil
+		default:
+			return nil, fmt.Errorf("expected literal, got %q", lit.text)
+		}
+	default:
+		return nil, fmt.Errorf("expected literal, got %q", lit.text)
+	}
+	return n, nil
+}
+
+// lookup walks the dotted path through nested JSON objects.
+func lookup(doc map[string]any, path []string) (any, bool) {
+	var cur any = doc
+	for _, seg := range path {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return nil, false
+		}
+		cur, ok = m[seg]
+		if !ok {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+func (n *cmpNode) eval(doc map[string]any) bool {
+	v, ok := lookup(doc, n.path)
+	if !ok {
+		return false
+	}
+	switch lit := n.lit.(type) {
+	case float64:
+		f, ok := v.(float64)
+		if !ok {
+			return false
+		}
+		return cmpFloat(f, lit, n.op)
+	case string:
+		s, ok := v.(string)
+		if !ok {
+			return false
+		}
+		return cmpString(s, lit, n.op)
+	case bool:
+		b, ok := v.(bool)
+		if !ok {
+			return false
+		}
+		switch n.op {
+		case "==":
+			return b == lit
+		case "!=":
+			return b != lit
+		}
+		return false
+	case nil:
+		switch n.op {
+		case "==":
+			return v == nil
+		case "!=":
+			return v != nil
+		}
+		return false
+	}
+	return false
+}
+
+func cmpFloat(a, b float64, op string) bool {
+	switch op {
+	case "==":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
+}
+
+func cmpString(a, b, op string) bool {
+	switch op {
+	case "==":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
+}

@@ -1,0 +1,326 @@
+// Package ssg reimplements SSG (Scalable Service Groups), the Mochi
+// component for service group membership (paper §III-B). Server
+// processes create or join named groups; clients observe a group to
+// discover its members instead of being configured with addresses by
+// hand. Views are versioned: every membership change bumps the version,
+// and observers can cheaply refresh.
+//
+// The real SSG bootstraps over MPI/PMIx and maintains membership with
+// SWIM gossip; this implementation roots each group at its creating
+// process and runs join/leave/observe as ordinary RPCs over the fabric,
+// which preserves the discovery API the services need.
+package ssg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/mercury"
+)
+
+// RPC names exported by a group root.
+const (
+	RPCJoin    = "ssg_join_rpc"
+	RPCLeave   = "ssg_leave_rpc"
+	RPCObserve = "ssg_observe_rpc"
+)
+
+// RPCNames lists the SSG RPCs (for client registration).
+func RPCNames() []string { return []string{RPCJoin, RPCLeave, RPCObserve} }
+
+// Errors returned by group operations.
+var (
+	ErrUnknownGroup = errors.New("ssg: unknown group")
+	ErrNotMember    = errors.New("ssg: not a member")
+)
+
+// Member is one group participant.
+type Member struct {
+	Rank uint32
+	Addr string
+}
+
+// View is a versioned membership snapshot.
+type View struct {
+	Name    string
+	Version uint64
+	Members []Member // sorted by rank
+}
+
+// Size returns the member count.
+func (v *View) Size() int { return len(v.Members) }
+
+// MemberFor deterministically maps a key onto a member (consistent
+// addressing for clients that shard by key).
+func (v *View) MemberFor(key []byte) (Member, bool) {
+	if len(v.Members) == 0 {
+		return Member{}, false
+	}
+	var h uint64 = 1469598103934665603
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	return v.Members[h%uint64(len(v.Members))], true
+}
+
+// Addrs lists member addresses in rank order.
+func (v *View) Addrs() []string {
+	out := make([]string, len(v.Members))
+	for i, m := range v.Members {
+		out[i] = m.Addr
+	}
+	return out
+}
+
+// Group is the root-side state of one service group.
+type Group struct {
+	name string
+
+	mu      sync.Mutex
+	members map[string]uint32 // addr -> rank
+	next    uint32
+	version uint64
+}
+
+// Host manages the groups rooted at one server process.
+type Host struct {
+	inst *margo.Instance
+
+	mu     sync.Mutex
+	groups map[string]*Group
+}
+
+// NewHost installs the SSG RPCs on a Margo server and returns the host.
+func NewHost(inst *margo.Instance) (*Host, error) {
+	h := &Host{inst: inst, groups: make(map[string]*Group)}
+	handlers := map[string]margo.HandlerFunc{
+		RPCJoin:    h.handleJoin,
+		RPCLeave:   h.handleLeave,
+		RPCObserve: h.handleObserve,
+	}
+	for name, fn := range handlers {
+		if err := inst.Register(name, fn); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// Create roots a new group containing (optionally) the host itself.
+func (h *Host) Create(name string, includeSelf bool) (*Group, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.groups[name]; dup {
+		return nil, fmt.Errorf("ssg: group %q exists", name)
+	}
+	g := &Group{name: name, members: make(map[string]uint32)}
+	if includeSelf {
+		g.members[h.inst.Addr()] = 0
+		g.next = 1
+		g.version = 1
+	}
+	h.groups[name] = g
+	return g, nil
+}
+
+func (h *Host) group(name string) (*Group, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	g, ok := h.groups[name]
+	return g, ok
+}
+
+// View snapshots the group's membership.
+func (g *Group) View() View {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.viewLocked()
+}
+
+func (g *Group) viewLocked() View {
+	v := View{Name: g.name, Version: g.version}
+	for addr, rank := range g.members {
+		v.Members = append(v.Members, Member{Rank: rank, Addr: addr})
+	}
+	sort.Slice(v.Members, func(i, j int) bool { return v.Members[i].Rank < v.Members[j].Rank })
+	return v
+}
+
+// join adds a member, returning its rank and the new view.
+func (g *Group) join(addr string) (uint32, View) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if rank, already := g.members[addr]; already {
+		return rank, g.viewLocked()
+	}
+	rank := g.next
+	g.next++
+	g.members[addr] = rank
+	g.version++
+	return rank, g.viewLocked()
+}
+
+// leave removes a member, reporting whether it was present.
+func (g *Group) leave(addr string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.members[addr]; !ok {
+		return false
+	}
+	delete(g.members, addr)
+	g.version++
+	return true
+}
+
+// Wire types.
+
+type groupArgs struct {
+	Group string
+	Addr  string
+}
+
+func (a *groupArgs) Proc(p *mercury.Proc) error {
+	p.String(&a.Group)
+	p.String(&a.Addr)
+	return p.Err()
+}
+
+type viewResp struct {
+	Rank    uint32
+	Version uint64
+	Ranks   []uint64
+	Addrs   []string
+}
+
+func (a *viewResp) Proc(p *mercury.Proc) error {
+	p.Uint32(&a.Rank)
+	p.Uint64(&a.Version)
+	p.Uint64Slice(&a.Ranks)
+	p.StringSlice(&a.Addrs)
+	return p.Err()
+}
+
+func viewToResp(rank uint32, v View) viewResp {
+	out := viewResp{Rank: rank, Version: v.Version}
+	for _, m := range v.Members {
+		out.Ranks = append(out.Ranks, uint64(m.Rank))
+		out.Addrs = append(out.Addrs, m.Addr)
+	}
+	return out
+}
+
+func respToView(name string, r viewResp) View {
+	v := View{Name: name, Version: r.Version}
+	for i := range r.Addrs {
+		v.Members = append(v.Members, Member{Rank: uint32(r.Ranks[i]), Addr: r.Addrs[i]})
+	}
+	return v
+}
+
+// Handlers.
+
+func (h *Host) handleJoin(ctx *margo.Context) {
+	var in groupArgs
+	if err := ctx.GetInput(&in); err != nil {
+		ctx.RespondError("ssg: %v", err)
+		return
+	}
+	g, ok := h.group(in.Group)
+	if !ok {
+		ctx.RespondError("%v: %s", ErrUnknownGroup, in.Group)
+		return
+	}
+	addr := in.Addr
+	if addr == "" {
+		addr = ctx.Origin()
+	}
+	rank, v := g.join(addr)
+	out := viewToResp(rank, v)
+	ctx.Respond(&out)
+}
+
+func (h *Host) handleLeave(ctx *margo.Context) {
+	var in groupArgs
+	if err := ctx.GetInput(&in); err != nil {
+		ctx.RespondError("ssg: %v", err)
+		return
+	}
+	g, ok := h.group(in.Group)
+	if !ok {
+		ctx.RespondError("%v: %s", ErrUnknownGroup, in.Group)
+		return
+	}
+	addr := in.Addr
+	if addr == "" {
+		addr = ctx.Origin()
+	}
+	if !g.leave(addr) {
+		ctx.RespondError("%v: %s", ErrNotMember, addr)
+		return
+	}
+	ctx.Respond(mercury.Void{})
+}
+
+func (h *Host) handleObserve(ctx *margo.Context) {
+	var in groupArgs
+	if err := ctx.GetInput(&in); err != nil {
+		ctx.RespondError("ssg: %v", err)
+		return
+	}
+	g, ok := h.group(in.Group)
+	if !ok {
+		ctx.RespondError("%v: %s", ErrUnknownGroup, in.Group)
+		return
+	}
+	out := viewToResp(0, g.View())
+	ctx.Respond(&out)
+}
+
+// Client-side operations.
+
+// Client performs group operations against a root.
+type Client struct {
+	inst *margo.Instance
+}
+
+// NewClient wires the SSG RPCs into a Margo instance.
+func NewClient(inst *margo.Instance) (*Client, error) {
+	if err := inst.RegisterClient(RPCNames()...); err != nil {
+		return nil, err
+	}
+	return &Client{inst: inst}, nil
+}
+
+// Join adds this process (or addr, if non-empty) to the group rooted at
+// root, returning the assigned rank and the membership view.
+func (c *Client) Join(self *abt.ULT, root, group, addr string) (uint32, View, error) {
+	var out viewResp
+	in := groupArgs{Group: group, Addr: addr}
+	if err := c.inst.Forward(self, root, RPCJoin, &in, &out); err != nil {
+		return 0, View{}, err
+	}
+	return out.Rank, respToView(group, out), nil
+}
+
+// Leave removes this process (or addr) from the group.
+func (c *Client) Leave(self *abt.ULT, root, group, addr string) error {
+	in := groupArgs{Group: group, Addr: addr}
+	return c.inst.Forward(self, root, RPCLeave, &in, nil)
+}
+
+// Observe fetches the group's current membership view without joining —
+// the client-side discovery path.
+func (c *Client) Observe(self *abt.ULT, root, group string) (View, error) {
+	var out viewResp
+	in := groupArgs{Group: group}
+	if err := c.inst.Forward(self, root, RPCObserve, &in, &out); err != nil {
+		return View{}, err
+	}
+	return respToView(group, out), nil
+}

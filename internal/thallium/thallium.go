@@ -1,0 +1,92 @@
+// Package thallium provides a typed veneer over Margo RPCs, playing the
+// role Thallium plays in the Mochi stack (paper §III-B): where Margo
+// exposes untyped Procable arguments, Thallium binds an RPC name to
+// concrete request/response types once, and both the handler and the
+// caller get fully typed signatures — no interface casts, no manual
+// GetInput/Respond pairing.
+//
+//	var greet = thallium.Define[greetArgs, greetReply]("greet_rpc")
+//	greet.Register(server, func(ctx *margo.Context, in *greetArgs) (*greetReply, error) {
+//	    return &greetReply{Msg: "hello " + in.Name}, nil
+//	})
+//	out, err := greet.Call(client, self, server.Addr(), &greetArgs{Name: "x"})
+package thallium
+
+import (
+	"time"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/mercury"
+)
+
+// procPtr constrains *T to implement the Mercury proc interface.
+type procPtr[T any] interface {
+	*T
+	mercury.Procable
+}
+
+// RPC is one typed remote procedure. Define it once per RPC name and
+// share the value between client and server code.
+type RPC[In any, Out any, PIn procPtr[In], POut procPtr[Out]] struct {
+	name string
+}
+
+// Define binds an RPC name to its request and response types.
+func Define[In any, Out any, PIn procPtr[In], POut procPtr[Out]](name string) RPC[In, Out, PIn, POut] {
+	return RPC[In, Out, PIn, POut]{name: name}
+}
+
+// Name returns the wire-level RPC name.
+func (r RPC[In, Out, PIn, POut]) Name() string { return r.name }
+
+// Handler is the typed server-side function: it receives the decoded
+// input and returns the response or an error (which is sent to the
+// origin as a handler failure).
+type Handler[In any, Out any] func(ctx *margo.Context, in *In) (*Out, error)
+
+// Register installs the typed handler on a Margo server. Input decoding
+// and the respond/respond-error pairing are handled here, so handlers
+// cannot forget to respond or double-respond.
+func (r RPC[In, Out, PIn, POut]) Register(inst *margo.Instance, fn Handler[In, Out]) error {
+	return inst.Register(r.name, func(ctx *margo.Context) {
+		var in In
+		if err := ctx.GetInput(PIn(&in)); err != nil {
+			ctx.RespondError("%s: decode: %v", r.name, err)
+			return
+		}
+		out, err := fn(ctx, &in)
+		if err != nil {
+			ctx.RespondError("%s: %v", r.name, err)
+			return
+		}
+		if out == nil {
+			ctx.Respond(mercury.Void{})
+			return
+		}
+		ctx.Respond(POut(out))
+	})
+}
+
+// RegisterClient declares the RPC on a client instance.
+func (r RPC[In, Out, PIn, POut]) RegisterClient(inst *margo.Instance) error {
+	return inst.RegisterClient(r.name)
+}
+
+// Call issues the typed RPC from a ULT and returns the decoded reply.
+func (r RPC[In, Out, PIn, POut]) Call(inst *margo.Instance, self *abt.ULT, target string, in *In) (*Out, error) {
+	var out Out
+	if err := inst.Forward(self, target, r.name, PIn(in), POut(&out)); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CallTimeout is Call with a response deadline (see margo.ForwardTimeout).
+func (r RPC[In, Out, PIn, POut]) CallTimeout(inst *margo.Instance, self *abt.ULT, target string, in *In, d time.Duration) (*Out, error) {
+	var out Out
+	if err := inst.ForwardTimeout(self, target, r.name, PIn(in), POut(&out), d); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

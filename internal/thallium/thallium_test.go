@@ -1,0 +1,132 @@
+package thallium
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/core"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/mercury"
+	"symbiosys/internal/na"
+)
+
+type sumArgs struct {
+	A, B uint64
+}
+
+func (a *sumArgs) Proc(p *mercury.Proc) error {
+	p.Uint64(&a.A)
+	p.Uint64(&a.B)
+	return p.Err()
+}
+
+type sumReply struct {
+	Sum uint64
+}
+
+func (a *sumReply) Proc(p *mercury.Proc) error { return p.Uint64(&a.Sum) }
+
+var sumRPC = Define[sumArgs, sumReply]("sum_rpc")
+
+func newPair(t *testing.T) (*margo.Instance, *margo.Instance) {
+	t.Helper()
+	f := na.NewFabric(na.DefaultConfig())
+	srv, err := margo.New(margo.Options{
+		Mode: margo.ModeServer, Node: "n1", Name: "srv", Fabric: f, Stage: core.StageFull,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := margo.New(margo.Options{
+		Mode: margo.ModeClient, Node: "n0", Name: "cli", Fabric: f, Stage: core.StageFull,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Shutdown(); srv.Shutdown() })
+	return srv, cli
+}
+
+func TestTypedCall(t *testing.T) {
+	srv, cli := newPair(t)
+	err := sumRPC.Register(srv, func(ctx *margo.Context, in *sumArgs) (*sumReply, error) {
+		return &sumReply{Sum: in.A + in.B}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sumRPC.RegisterClient(cli); err != nil {
+		t.Fatal(err)
+	}
+	var out *sumReply
+	var callErr error
+	u := cli.Run("t", func(self *abt.ULT) {
+		out, callErr = sumRPC.Call(cli, self, srv.Addr(), &sumArgs{A: 40, B: 2})
+	})
+	u.Join(nil)
+	if callErr != nil || out == nil || out.Sum != 42 {
+		t.Fatalf("Call = %+v, %v", out, callErr)
+	}
+	if sumRPC.Name() != "sum_rpc" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestTypedHandlerError(t *testing.T) {
+	srv, cli := newPair(t)
+	failing := Define[sumArgs, sumReply]("fail_rpc")
+	failing.Register(srv, func(ctx *margo.Context, in *sumArgs) (*sumReply, error) {
+		return nil, fmt.Errorf("quota exceeded for %d", in.A)
+	})
+	failing.RegisterClient(cli)
+	var callErr error
+	u := cli.Run("t", func(self *abt.ULT) {
+		_, callErr = failing.Call(cli, self, srv.Addr(), &sumArgs{A: 9})
+	})
+	u.Join(nil)
+	if !errors.Is(callErr, mercury.ErrHandlerFail) || !strings.Contains(callErr.Error(), "quota exceeded for 9") {
+		t.Fatalf("err = %v", callErr)
+	}
+}
+
+func TestTypedCallTimeout(t *testing.T) {
+	srv, cli := newPair(t)
+	release := make(chan struct{})
+	slow := Define[sumArgs, sumReply]("slow_rpc")
+	slow.Register(srv, func(ctx *margo.Context, in *sumArgs) (*sumReply, error) {
+		<-release
+		return &sumReply{}, nil
+	})
+	defer close(release)
+	slow.RegisterClient(cli)
+	var callErr error
+	u := cli.Run("t", func(self *abt.ULT) {
+		_, callErr = slow.CallTimeout(cli, self, srv.Addr(), &sumArgs{}, 20*time.Millisecond)
+	})
+	u.Join(nil)
+	if !errors.Is(callErr, mercury.ErrCanceled) {
+		t.Fatalf("err = %v", callErr)
+	}
+}
+
+func TestTypedBreadcrumbsStillWork(t *testing.T) {
+	// The typed layer must not interfere with SYMBIOSYS: the callpath
+	// profile records the typed RPC like any other.
+	srv, cli := newPair(t)
+	sumRPC.Register(srv, func(ctx *margo.Context, in *sumArgs) (*sumReply, error) {
+		return &sumReply{Sum: in.A}, nil
+	})
+	sumRPC.RegisterClient(cli)
+	u := cli.Run("t", func(self *abt.ULT) {
+		sumRPC.Call(cli, self, srv.Addr(), &sumArgs{A: 1})
+	})
+	u.Join(nil)
+	bc := core.Breadcrumb(0).Push("sum_rpc")
+	if _, ok := cli.Profiler().OriginStats()[core.StatKey{BC: bc, Peer: srv.Addr()}]; !ok {
+		t.Fatalf("typed call missing from profile: %+v", cli.Profiler().OriginStats())
+	}
+}

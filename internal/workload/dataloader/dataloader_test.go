@@ -1,0 +1,151 @@
+package dataloader
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/core"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/na"
+	"symbiosys/internal/services/hepnos"
+	"symbiosys/internal/services/sdskv"
+)
+
+func TestEventGenDeterministic(t *testing.T) {
+	g1 := NewEventGen("ds", 512, 7)
+	g2 := NewEventGen("ds", 512, 7)
+	for i := 0; i < 10; i++ {
+		k1, v1 := g1.Event(i)
+		k2, v2 := g2.Event(i)
+		if k1 != k2 || !bytes.Equal(v1, v2) {
+			t.Fatalf("event %d differs across generators", i)
+		}
+		if len(v1) != 512 {
+			t.Fatalf("event %d size = %d", i, len(v1))
+		}
+	}
+	// Different seeds differ.
+	g3 := NewEventGen("ds", 512, 8)
+	_, v1 := g1.Event(0)
+	_, v3 := g3.Event(0)
+	if bytes.Equal(v1, v3) {
+		t.Fatal("different seeds produced identical payloads")
+	}
+	// Default size applies.
+	if g := NewEventGen("d", 0, 1); g.Size != 1024 {
+		t.Fatalf("default size = %d", g.Size)
+	}
+}
+
+func TestEventGenHierarchy(t *testing.T) {
+	g := NewEventGen("nova", 64, 1)
+	k, _ := g.Event(12345)
+	if k.DataSet != "nova" || k.Run != 12 || k.Event != 12345 {
+		t.Fatalf("key = %+v", k)
+	}
+}
+
+func TestRunStoresEverything(t *testing.T) {
+	f := na.NewFabric(na.DefaultConfig())
+	srvInst, err := margo.New(margo.Options{
+		Mode: margo.ModeServer, Node: "s0", Name: "hepnos", Fabric: f,
+		HandlerStreams: 4, Stage: core.StageFull,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvInst.Shutdown()
+	srv, err := hepnos.NewServer(srvInst, 4, "map", sdskv.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := margo.New(margo.Options{
+		Mode: margo.ModeClient, Node: "c0", Name: "loader", Fabric: f, Stage: core.StageFull,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Shutdown()
+
+	const events = 300
+	stored, err := Run(cli, Config{
+		Events:    events,
+		EventSize: 128,
+		BatchSize: 16,
+		Issuers:   3,
+		Servers:   []hepnos.ServerInfo{{Addr: srv.Addr(), DBIDs: srv.DBIDs}},
+		Seed:      42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored != events {
+		t.Fatalf("stored = %d, want %d", stored, events)
+	}
+	if got := srv.StoredEvents(); got != events {
+		t.Fatalf("server holds %d, want %d", got, events)
+	}
+}
+
+func TestRunAsyncEngine(t *testing.T) {
+	f := na.NewFabric(na.DefaultConfig())
+	srvInst, err := margo.New(margo.Options{
+		Mode: margo.ModeServer, Node: "s0", Name: "hepnos", Fabric: f, HandlerStreams: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvInst.Shutdown()
+	srv, err := hepnos.NewServer(srvInst, 2, "map", sdskv.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := margo.New(margo.Options{
+		Mode: margo.ModeClient, Node: "c0", Name: "loader", Fabric: f,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Shutdown()
+
+	stored, err := Run(cli, Config{
+		Events:      200,
+		EventSize:   64,
+		BatchSize:   1, // every event its own RPC, via the async window
+		MaxInflight: 16,
+		Issuers:     2,
+		Servers:     []hepnos.ServerInfo{{Addr: srv.Addr(), DBIDs: srv.DBIDs}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored != 200 {
+		t.Fatalf("stored = %d", stored)
+	}
+	if got := srv.StoredEvents(); got != 200 {
+		t.Fatalf("server holds %d", got)
+	}
+}
+
+func TestRunPropagatesBackendError(t *testing.T) {
+	f := na.NewFabric(na.DefaultConfig())
+	cli, err := margo.New(margo.Options{
+		Mode: margo.ModeClient, Node: "c0", Name: "loader", Fabric: f,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Shutdown()
+	// Point the loader at a dead address: the flush must fail.
+	_, err = Run(cli, Config{
+		Events: 8, BatchSize: 1, Issuers: 1,
+		Servers: []hepnos.ServerInfo{{Addr: "ghost/none", DBIDs: []uint32{1}}},
+	})
+	if err == nil {
+		t.Fatal("loader against dead server succeeded")
+	}
+	_ = fmt.Sprintf
+	_ = abt.StateReady
+}
