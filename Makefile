@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector pass over the concurrency-heavy packages: the sharded
+# measurement collector and the Margo instrumentation that records into
+# it from many execution streams.
+race:
+	$(GO) test -race ./internal/core/... ./internal/margo/...
+
+# check is the pre-commit gate: static analysis, race tests on the
+# measurement pipeline, then the full tier-1 build + test sweep.
+check: vet race build test
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .

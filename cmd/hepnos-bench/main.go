@@ -78,6 +78,9 @@ func report(res *experiments.HEPnOSResult) {
 	fmt.Printf("  wall %v   events %d   put_packed RPCs %d   trace samples %d\n",
 		res.WallTime.Round(time.Millisecond), res.EventsStored,
 		res.Unaccounted.Count, res.TraceSamples)
+	if res.TraceDropped > 0 {
+		fmt.Printf("  WARNING: %d trace events dropped at capacity\n", res.TraceDropped)
+	}
 	fmt.Printf("  cumulative target RPC execution %v (Fig 9 bar):\n", res.CumTargetExec.Round(time.Millisecond))
 	fmt.Printf("    handler %v (%.1f%%)  exec %v  input-deser %v  rdma %v  target-cb %v\n",
 		time.Duration(c[core.CompHandler]).Round(time.Millisecond), 100*res.HandlerFraction(),

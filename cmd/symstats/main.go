@@ -110,6 +110,11 @@ func printStats(dir string, capEvents uint64) {
 	ts := analysis.MergeTraces(dumps)
 	stats := analysis.SystemStats(ts, capEvents)
 	analysis.RenderSystemStats(os.Stdout, stats)
+	if ts.Dropped > 0 {
+		fmt.Printf("\nWARNING: %d trace events were dropped at the capacity bound;\n"+
+			"the summary above undercounts. Raise the trace capacity (margo\n"+
+			"Options.TraceCapacity) or attach a streaming JSONL sink.\n", ts.Dropped)
+	}
 }
 
 func fatal(err error) {

@@ -26,6 +26,7 @@ import (
 
 func main() {
 	dir := flag.String("dir", "", "directory holding *.trace.json dumps")
+	jsonl := flag.String("jsonl", "", "directory holding *.trace.jsonl streams (JSONL sink output)")
 	reqStr := flag.String("req", "", "request ID to inspect (hex with 0x, or decimal)")
 	zipkin := flag.String("zipkin", "", "write the selected request as Zipkin v2 JSON to this file")
 	gantt := flag.Bool("gantt", false, "render the selected request as an ASCII Gantt chart")
@@ -40,7 +41,15 @@ func main() {
 		}
 		files = append(files, matches...)
 	}
-	if len(files) == 0 {
+	var streams []string
+	if *jsonl != "" {
+		matches, err := filepath.Glob(filepath.Join(*jsonl, "*.trace.jsonl"))
+		if err != nil {
+			fatal(err)
+		}
+		streams = matches
+	}
+	if len(files) == 0 && len(streams) == 0 {
 		fmt.Fprintln(os.Stderr, "symtrace: no trace dumps given; see -h")
 		os.Exit(2)
 	}
@@ -57,6 +66,21 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", path, err))
 		}
 		dumps = append(dumps, d)
+	}
+	// JSONL streams are the streaming-sink export: events only, no drop
+	// counter (the sink observes every event).
+	for _, path := range streams {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		evs, err := core.ReadEventsJSONL(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".trace.jsonl")
+		dumps = append(dumps, &core.TraceDump{Entity: name, Events: evs})
 	}
 	ts := analysis.MergeTraces(dumps)
 	fmt.Printf("ingested %d events from %d process dump(s), %d dropped\n",

@@ -117,6 +117,6 @@ func main() {
 
 	// The trace buffer holds the four events per call (t1, t5, t8, t14).
 	fmt.Printf("\ntrace events collected: client %d, server %d\n",
-		client.Profiler().Tracer().Len(), server.Profiler().Tracer().Len())
+		client.Profiler().TraceLen(), server.Profiler().TraceLen())
 	os.Exit(0)
 }

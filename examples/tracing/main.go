@@ -25,9 +25,21 @@ import (
 
 func main() {
 	fabric := na.NewFabric(na.DefaultConfig())
+
+	// Attach a streaming JSONL sink to the provider: every trace event
+	// it emits is exported on-line (ingest with `symtrace -jsonl .`),
+	// independent of the bounded in-memory rings.
+	jsonlFile, err := os.Create("mobject.trace.jsonl")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer jsonlFile.Close()
+	jsonlSink := core.NewJSONLTraceSink(jsonlFile)
+
 	server, err := margo.New(margo.Options{
 		Mode: margo.ModeServer, Node: "node0", Name: "mobject",
 		Fabric: fabric, HandlerStreams: 8, Stage: core.StageFull,
+		TraceSinks: []core.TraceSink{jsonlSink},
 	})
 	if err != nil {
 		log.Fatal(err)

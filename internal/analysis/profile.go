@@ -29,6 +29,11 @@ type MergedProfile struct {
 	// TargetByEntity[bc][entity] counts calls serviced per target.
 	OriginByEntity map[core.Breadcrumb]map[string]uint64
 	TargetByEntity map[core.Breadcrumb]map[string]uint64
+
+	// TraceDropped totals the trace events the contributing processes
+	// discarded at their capacity bounds (nonzero means the run's trace
+	// view is truncated even though the profile itself is complete).
+	TraceDropped uint64
 }
 
 // Merge performs the global aggregation of the profile summary script.
@@ -41,6 +46,7 @@ func Merge(dumps []*core.ProfileDump) *MergedProfile {
 		TargetByEntity: make(map[core.Breadcrumb]map[string]uint64),
 	}
 	for _, d := range dumps {
+		m.TraceDropped += d.TraceDropped
 		for h, n := range d.Names {
 			m.Names[h] = n
 		}
@@ -223,6 +229,9 @@ func (m *MergedProfile) CumulativeTargetExecution(bc core.Breadcrumb) (total tim
 func (m *MergedProfile) RenderSummary(w io.Writer, topN int) {
 	rows := m.DominantCallpaths(topN)
 	fmt.Fprintf(w, "SYMBIOSYS profile summary — top %d callpaths by cumulative latency\n", len(rows))
+	if m.TraceDropped > 0 {
+		fmt.Fprintf(w, "warning: %d trace events dropped at capacity (trace view truncated)\n", m.TraceDropped)
+	}
 	for i, r := range rows {
 		fmt.Fprintf(w, "\n[%d] %s\n", i+1, r.Name)
 		fmt.Fprintf(w, "    calls %d  cum %v  mean %v  min %v  max %v\n",

@@ -10,6 +10,9 @@ import (
 type EntityStats struct {
 	Entity string
 	Events int
+	// Dropped counts trace events this process discarded at its
+	// capacity bound — nonzero means the stats below undercount.
+	Dropped uint64
 
 	MaxBlocked   int64
 	MeanBlocked  float64
@@ -75,6 +78,16 @@ func SystemStats(ts *TraceSet, capEvents uint64) []EntityStats {
 			}
 		}
 	}
+	// Attribute drops even for entities whose every event was dropped.
+	for ent, n := range ts.DroppedBy {
+		s := agg[ent]
+		if s == nil {
+			s = &EntityStats{Entity: ent}
+			agg[ent] = s
+			sum[ent] = &sums{}
+		}
+		s.Dropped = n
+	}
 	out := make([]EntityStats, 0, len(agg))
 	for ent, s := range agg {
 		sm := sum[ent]
@@ -104,6 +117,9 @@ func RenderSystemStats(w io.Writer, stats []EntityStats) {
 		}
 		if s.MaxCQ > 0 {
 			fmt.Fprintf(w, "  completion q : max %d\n", s.MaxCQ)
+		}
+		if s.Dropped > 0 {
+			fmt.Fprintf(w, "  trace dropped: %d (stats above undercount)\n", s.Dropped)
 		}
 	}
 }

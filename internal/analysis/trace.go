@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"symbiosys/internal/core"
 )
@@ -13,16 +14,53 @@ import (
 type TraceSet struct {
 	Events  []core.Event
 	Dropped uint64
+	// DroppedBy attributes dropped events to the process that dropped
+	// them, so truncated traces are flagged per entity.
+	DroppedBy map[string]uint64
 }
 
 // MergeTraces combines trace dumps from every process.
 func MergeTraces(dumps []*core.TraceDump) *TraceSet {
-	ts := &TraceSet{}
+	ts := &TraceSet{DroppedBy: make(map[string]uint64)}
 	for _, d := range dumps {
 		ts.Events = append(ts.Events, d.Events...)
 		ts.Dropped += d.Dropped
+		if d.Dropped > 0 {
+			ts.DroppedBy[d.Entity] += d.Dropped
+		}
 	}
 	return ts
+}
+
+// CollectSink is a core.TraceSink accumulating a live event stream into
+// a TraceSet — the consumer side of the measurement pipeline's sink
+// interface. Attach it to an instance (margo Options.TraceSinks) to
+// build the analysis view on-line instead of from end-of-run dumps;
+// exporters like Zipkin then read the TraceSet they consumed rather
+// than reaching into the collector's buffers.
+type CollectSink struct {
+	mu sync.Mutex
+	ts TraceSet
+}
+
+// WriteEvent implements core.TraceSink.
+func (s *CollectSink) WriteEvent(ev core.Event) error {
+	s.mu.Lock()
+	s.ts.Events = append(s.ts.Events, ev)
+	s.mu.Unlock()
+	return nil
+}
+
+// Flush implements core.TraceSink.
+func (s *CollectSink) Flush() error { return nil }
+
+// TraceSet returns a snapshot of everything consumed so far.
+func (s *CollectSink) TraceSet() *TraceSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := &TraceSet{Events: make([]core.Event, len(s.ts.Events))}
+	copy(out.Events, s.ts.Events)
+	return out
 }
 
 // Requests groups events by request ID, each group sorted by Lamport

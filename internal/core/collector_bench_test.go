@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// benchContended measures concurrent RecordOrigin+Emit throughput with
+// `workers` goroutines hammering a collector of `shards` shards, each
+// worker keyed by its own id (the ULT/ES-id keying the Margo hot path
+// uses). shards=1 is exactly the old single-mutex Profiler: every
+// worker funnels through one lock. The per-op work is identical across
+// shard counts, so the ratio isolates lock contention.
+func benchContended(b *testing.B, shards, workers int) {
+	// Give each worker an OS thread even on a small host: the paper's
+	// contention story is N execution streams recording in parallel,
+	// and (like the rest of this repo's simulation) oversubscribing a
+	// 1-core VM reproduces the lock-holder preemption and futex
+	// handoffs a real N-core deployment sees on a shared mutex.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(workers))
+	c := NewCollector(shards, 1<<16)
+	bc := Breadcrumb(0).Push("contended_rpc")
+	var comps [NumComponents]uint64
+	comps[CompOriginExec] = 1000
+
+	var next atomic.Uint64
+	per := b.N/workers + 1
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := next.Add(1) // distinct ULT id per worker
+			ev := Event{RequestID: key, Kind: EvOriginEnd, RPCName: "contended_rpc", Timestamp: 1}
+			for i := 0; i < per; i++ {
+				c.RecordOrigin(key, bc, "peer", time.Microsecond, &comps)
+				c.Emit(key, ev)
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	ops := float64(workers*per) * 2 // one record + one emit per iteration
+	b.ReportMetric(ops/b.Elapsed().Seconds()/1e6, "Mops/s")
+}
+
+// BenchmarkContendedRecording is the collector-bottleneck study behind
+// this repo's sharding decision: N concurrent recorders × {1, 8}
+// shards. The single-shard case is the process-wide mutex the original
+// Profiler had; the sharded case is what Margo's per-ULT keying hits.
+func BenchmarkContendedRecording(b *testing.B) {
+	for _, workers := range []int{1, 4, 8, 16} {
+		for _, shards := range []int{1, 8} {
+			b.Run(fmt.Sprintf("workers=%d/shards=%d", workers, shards), func(b *testing.B) {
+				benchContended(b, shards, workers)
+			})
+		}
+	}
+}
+
+// BenchmarkRecordOriginSharded measures the uncontended sharded path
+// for comparison with BenchmarkRecordOrigin (the Profiler facade).
+func BenchmarkRecordOriginSharded(b *testing.B) {
+	c := NewCollector(8, 16)
+	bc := Breadcrumb(0).Push("x_rpc")
+	var comps [NumComponents]uint64
+	comps[CompOriginExec] = 1000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.RecordOrigin(7, bc, "peer", time.Microsecond, &comps)
+	}
+}
+
+// BenchmarkEmitSharded measures one trace-event append through the
+// collector (shard select + ring append).
+func BenchmarkEmitSharded(b *testing.B) {
+	c := NewCollector(8, b.N+8)
+	ev := Event{RequestID: 1, Kind: EvOriginStart, RPCName: "x_rpc", Timestamp: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Emit(7, ev)
+	}
+}

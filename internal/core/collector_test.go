@@ -1,0 +1,304 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestCollectorShardMergeEquivalence is the shard-merge soundness
+// property: recording a workload through any number of shards (keyed
+// arbitrarily) and folding the shards back together yields exactly the
+// CallStats (count/sum/min/max/hist/components) of recording serially
+// into one map.
+func TestCollectorShardMergeEquivalence(t *testing.T) {
+	type op struct {
+		Key  uint64
+		BC   uint16
+		Dur  uint32
+		Comp uint16
+	}
+	prop := func(ops []op, shardSel uint8) bool {
+		shards := 1 << (shardSel % 5) // 1..16
+		c := NewCollector(shards, 64)
+		serial := make(map[StatKey]*CallStats)
+		for _, o := range ops {
+			bc := Breadcrumb(o.BC)
+			var comps [NumComponents]uint64
+			comps[CompOriginExec] = uint64(o.Comp)
+			d := time.Duration(o.Dur)
+			c.RecordOrigin(o.Key, bc, "peer", d, &comps)
+			c.RecordTarget(o.Key, bc, "peer", d, nil)
+
+			sk := StatKey{BC: bc, Peer: "peer"}
+			s := serial[sk]
+			if s == nil {
+				s = &CallStats{}
+				serial[sk] = s
+			}
+			s.record(d, &comps)
+		}
+		merged := c.OriginStats()
+		if len(merged) != len(serial) {
+			return false
+		}
+		for k, v := range serial {
+			if merged[k] != *v {
+				return false
+			}
+		}
+		// Target side saw the same durations without components.
+		tgt := c.TargetStats()
+		for k, v := range serial {
+			got := tgt[k]
+			if got.Count != v.Count || got.CumNanos != v.CumNanos ||
+				got.MinNanos != v.MinNanos || got.MaxNanos != v.MaxNanos {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCollectorMergeOrderIndependence checks that folding the per-shard
+// maps in any shard order produces identical stats: merge is
+// associative and commutative over shards.
+func TestCollectorMergeOrderIndependence(t *testing.T) {
+	prop := func(durs []uint16, seed int64) bool {
+		const shards = 8
+		c := NewCollector(shards, 64)
+		bc := Breadcrumb(0).Push("merge_rpc")
+		for i, d := range durs {
+			c.RecordOrigin(uint64(i), bc, "peer", time.Duration(d), nil)
+		}
+		// Fold shard maps manually in a random permutation and compare
+		// with the collector's own merge.
+		perm := rand.New(rand.NewSource(seed)).Perm(shards)
+		shuffled := make(map[StatKey]CallStats)
+		for _, idx := range perm {
+			sh := &c.shards[idx]
+			sh.mu.Lock()
+			for k, v := range sh.origin {
+				m := shuffled[k]
+				m.Merge(v)
+				shuffled[k] = m
+			}
+			sh.mu.Unlock()
+		}
+		return reflect.DeepEqual(shuffled, c.OriginStats())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCollectorConcurrentCountsPreserved hammers the collector from
+// many goroutines and verifies no recording is lost in the merge.
+func TestCollectorConcurrentCountsPreserved(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 500
+	)
+	c := NewCollector(8, workers*perW)
+	bc := Breadcrumb(0).Push("conc_rpc")
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(key uint64) {
+			defer wg.Done()
+			for j := 0; j < perW; j++ {
+				c.RecordOrigin(key, bc, "peer", time.Microsecond, nil)
+				c.Emit(key, Event{RequestID: key, Kind: EvOriginStart, RPCName: "conc_rpc"})
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	stats := c.OriginStats()[StatKey{BC: bc, Peer: "peer"}]
+	if stats.Count != workers*perW {
+		t.Fatalf("merged count = %d, want %d", stats.Count, workers*perW)
+	}
+	if got := c.TraceLen(); got != workers*perW {
+		t.Fatalf("trace len = %d (dropped %d), want %d", got, c.Dropped(), workers*perW)
+	}
+	if c.Dropped() != 0 {
+		t.Fatalf("dropped = %d", c.Dropped())
+	}
+}
+
+// TestSetTraceCapacityConcurrent exercises the reconfiguration race the
+// old bare-pointer write had: swapping the collector while other
+// goroutines record must be safe (run under -race).
+func TestSetTraceCapacityConcurrent(t *testing.T) {
+	p := NewProfiler("race", StageFull)
+	bc := Breadcrumb(0).Push("race_rpc")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(key uint64) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p.RecordOriginAt(key, bc, "peer", time.Microsecond, nil)
+				p.EmitAt(key, Event{RequestID: key, Kind: EvOriginStart})
+				_ = p.TraceLen()
+			}
+		}(uint64(w))
+	}
+	for i := 0; i < 50; i++ {
+		p.SetTraceCapacity(1024 + i)
+		p.SetShards(1 << (i % 5))
+	}
+	close(stop)
+	wg.Wait()
+	if p.Collector().NumShards() != 16 {
+		t.Fatalf("final shards = %d", p.Collector().NumShards())
+	}
+}
+
+func TestCollectorShardRounding(t *testing.T) {
+	cases := map[int]int{-1: DefaultShards, 0: DefaultShards, 1: 1, 2: 2, 3: 4, 5: 8, 8: 8, 9: 16, 1000: maxShards}
+	for in, want := range cases {
+		if got := NewCollector(in, 16).NumShards(); got != want {
+			t.Errorf("NewCollector(%d).NumShards() = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// TestCollectorTraceCapacityBound verifies the total capacity bound
+// holds across shards and drops are counted.
+func TestCollectorTraceCapacityBound(t *testing.T) {
+	c := NewCollector(4, 8) // 2 events per shard
+	for i := 0; i < 40; i++ {
+		c.Emit(0, Event{RequestID: uint64(i)}) // all to shard 0
+	}
+	if got := c.TraceLen(); got != 2 {
+		t.Fatalf("trace len = %d, want 2 (per-shard bound)", got)
+	}
+	if got := c.Dropped(); got != 38 {
+		t.Fatalf("dropped = %d, want 38", got)
+	}
+	c.Reset()
+	if c.TraceLen() != 0 || c.Dropped() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+// TestProfilerDumpSurfacesDropped checks the satellite requirement:
+// silent trace truncation is visible in both dump kinds.
+func TestProfilerDumpSurfacesDropped(t *testing.T) {
+	p := NewProfiler("drop/p", StageFull)
+	p.SetTraceCapacity(4)
+	for i := 0; i < 20; i++ {
+		p.EmitAt(0, Event{RequestID: uint64(i)})
+	}
+	if p.TraceDropped() == 0 {
+		t.Fatal("no drops recorded")
+	}
+	if d := p.Dump(); d.TraceDropped != p.TraceDropped() {
+		t.Fatalf("profile dump dropped = %d, want %d", d.TraceDropped, p.TraceDropped())
+	}
+	if d := p.DumpTrace(); d.Dropped != p.TraceDropped() {
+		t.Fatalf("trace dump dropped = %d, want %d", d.Dropped, p.TraceDropped())
+	}
+}
+
+// TestJSONLTraceSinkRoundTrip checks the streaming sink's output parses
+// back into the events it consumed, and that sinks observe events the
+// bounded rings drop.
+func TestJSONLTraceSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCollector(2, 4) // 2 per shard: will drop
+	c.AddTraceSink(NewJSONLTraceSink(&buf))
+	for i := 0; i < 10; i++ {
+		c.Emit(uint64(i), Event{RequestID: uint64(i), Kind: EvOriginStart, RPCName: "jsonl_rpc", Timestamp: int64(i + 1)})
+	}
+	if err := c.FlushSinks(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadEventsJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 10 {
+		t.Fatalf("sink saw %d events, want 10 (must include ring-dropped ones)", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.RequestID != uint64(i) || ev.RPCName != "jsonl_rpc" {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+	if c.Dropped() == 0 {
+		t.Fatal("expected ring drops with capacity 4")
+	}
+}
+
+// TestTracerImplementsTraceSink pins the default in-memory buffer as a
+// TraceSink implementation.
+func TestTracerImplementsTraceSink(t *testing.T) {
+	var sink TraceSink = NewTracer(4)
+	if err := sink.WriteEvent(Event{RequestID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.(*Tracer).Len() != 1 {
+		t.Fatal("event not buffered")
+	}
+}
+
+// TestJSONLProfileSinkRoundTrip checks streamed profile dumps parse
+// back (one JSON object per line).
+func TestJSONLProfileSinkRoundTrip(t *testing.T) {
+	p := NewProfiler("jsonl/p", StageFull)
+	p.Names().Register("x_rpc")
+	p.RecordOrigin(Breadcrumb(0).Push("x_rpc"), "peer", time.Millisecond, nil)
+
+	var buf bytes.Buffer
+	sink := NewJSONLProfileSink(&buf)
+	if err := sink.WriteProfileDump(p.Dump()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entity != "jsonl/p" || len(got.Origin) != 1 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+// TestCollectorEventsOrdered verifies the merged snapshot comes out in
+// timestamp-then-Lamport order regardless of shard placement.
+func TestCollectorEventsOrdered(t *testing.T) {
+	c := NewCollector(4, 64)
+	// Emit out of order across different shards.
+	stamps := []int64{50, 10, 30, 20, 40}
+	for i, ts := range stamps {
+		c.Emit(uint64(i), Event{RequestID: uint64(i), Timestamp: ts, Order: uint64(i)})
+	}
+	evs := c.Events()
+	if len(evs) != len(stamps) {
+		t.Fatalf("events = %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Timestamp < evs[i-1].Timestamp {
+			t.Fatalf("events unsorted: %v", evs)
+		}
+	}
+}

@@ -313,7 +313,7 @@ func TestTracerBoundsAndReset(t *testing.T) {
 
 func TestTraceDumpRoundTrip(t *testing.T) {
 	p := NewProfiler("node0/p", StageFull)
-	p.Tracer().Emit(Event{
+	p.Emit(Event{
 		RequestID: 9, Order: 2, Kind: EvTargetStart, RPCName: "y_rpc",
 		Sys:   SysSample{PoolBlocked: 7},
 		PVars: &PVarSample{OFIEventsRead: 16},

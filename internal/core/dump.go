@@ -16,8 +16,11 @@ type ProfileDump struct {
 	Stage   string            `json:"stage"`
 	Started time.Time         `json:"started"`
 	Names   map[uint16]string `json:"names"`
-	Origin  []DumpEntry       `json:"origin"`
-	Target  []DumpEntry       `json:"target"`
+	// TraceDropped surfaces silent trace-ring truncation alongside the
+	// profile so offline analysis can flag incomplete traces.
+	TraceDropped uint64      `json:"trace_dropped,omitempty"`
+	Origin       []DumpEntry `json:"origin"`
+	Target       []DumpEntry `json:"target"`
 }
 
 // DumpEntry is one (callpath, peer) row of a profile dump.
@@ -57,13 +60,15 @@ type TraceDump struct {
 	Events  []Event `json:"events"`
 }
 
-// DumpTrace captures a profiler's trace buffer for offline analysis.
+// DumpTrace captures a profiler's merged trace rings for offline
+// analysis; events come out ordered by timestamp then Lamport order.
 func (p *Profiler) DumpTrace() *TraceDump {
+	c := p.coll.Load()
 	return &TraceDump{
 		Entity:  p.entity,
 		PID:     p.pid,
-		Dropped: p.tracer.Dropped(),
-		Events:  p.tracer.Events(),
+		Dropped: c.Dropped(),
+		Events:  c.Events(),
 	}
 }
 

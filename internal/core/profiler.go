@@ -3,7 +3,6 @@ package core
 import (
 	"math/bits"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -163,7 +162,8 @@ func (s *CallStats) Percentile(p float64) time.Duration {
 
 // Profiler is the per-process SYMBIOSYS measurement state: it owns the
 // process identity, the measurement stage, the Lamport clock, request ID
-// allocation, the callpath profile maps, and the tracer.
+// allocation, and the sharded measurement collector holding the callpath
+// profiles and the trace rings.
 type Profiler struct {
 	entity string
 	pid    uint32
@@ -180,11 +180,10 @@ type Profiler struct {
 	// than timestamps (paper §IV-A2).
 	skew atomic.Int64
 
-	mu     sync.Mutex
-	origin map[StatKey]*CallStats
-	target map[StatKey]*CallStats
-
-	tracer *Tracer
+	// coll is the sharded measurement pipeline. It is replaced (not
+	// mutated) on reconfiguration, so hot-path readers load it once per
+	// operation without locking.
+	coll atomic.Pointer[Collector]
 
 	start time.Time
 }
@@ -198,11 +197,9 @@ func NewProfiler(entity string, stage Stage) *Profiler {
 		entity: entity,
 		pid:    pidSeq.Add(1),
 		names:  NewNameRegistry(),
-		origin: make(map[StatKey]*CallStats),
-		target: make(map[StatKey]*CallStats),
-		tracer: NewTracer(DefaultTraceCapacity),
 		start:  time.Now(),
 	}
+	p.coll.Store(NewCollector(DefaultShards, DefaultTraceCapacity))
 	p.stage.Store(int32(stage))
 	return p
 }
@@ -222,12 +219,37 @@ func (p *Profiler) SetStage(s Stage) { p.stage.Store(int32(s)) }
 // Names returns the process's hop-hash name registry.
 func (p *Profiler) Names() *NameRegistry { return p.names }
 
-// Tracer returns the process's trace buffer.
-func (p *Profiler) Tracer() *Tracer { return p.tracer }
+// Collector returns the process's sharded measurement pipeline.
+func (p *Profiler) Collector() *Collector { return p.coll.Load() }
 
-// SetTraceCapacity replaces the trace buffer with one retaining up to n
-// events. Call before any events are emitted.
-func (p *Profiler) SetTraceCapacity(n int) { p.tracer = NewTracer(n) }
+// SetTraceCapacity replaces the collector with one retaining up to n
+// trace events (shard count and attached sinks carry over). The swap is
+// atomic, so a late call is safe — but events already recorded are
+// discarded, so configure capacity before traffic.
+func (p *Profiler) SetTraceCapacity(n int) {
+	old := p.coll.Load()
+	nc := NewCollector(old.NumShards(), n)
+	nc.copySinksFrom(old)
+	p.coll.Store(nc)
+}
+
+// SetShards replaces the collector with one using n shards, rounded up
+// to a power of two (trace capacity and attached sinks carry over).
+// Like SetTraceCapacity, configure before traffic: recorded state is
+// discarded.
+func (p *Profiler) SetShards(n int) {
+	old := p.coll.Load()
+	nc := NewCollector(n, old.TraceCapacity())
+	nc.copySinksFrom(old)
+	p.coll.Store(nc)
+}
+
+// AddTraceSink attaches a streaming sink observing every subsequently
+// emitted trace event.
+func (p *Profiler) AddTraceSink(s TraceSink) { p.coll.Load().AddTraceSink(s) }
+
+// FlushSinks flushes all attached trace sinks.
+func (p *Profiler) FlushSinks() error { return p.coll.Load().FlushSinks() }
 
 // SetClockSkew sets the simulated wall-clock offset of this process.
 func (p *Profiler) SetClockSkew(d time.Duration) { p.skew.Store(int64(d)) }
@@ -249,78 +271,88 @@ func (p *Profiler) NewRequestID() uint64 {
 
 // RecordOrigin folds one completed RPC into the origin-side profile.
 // total is the origin execution time (t1→t14); comps carries whichever
-// components the origin measured.
+// components the origin measured. The recording shard is derived from
+// the callpath; hot paths that know their execution stream should use
+// RecordOriginAt.
 func (p *Profiler) RecordOrigin(bc Breadcrumb, target string, total time.Duration, comps *[NumComponents]uint64) {
+	p.RecordOriginAt(uint64(bc), bc, target, total, comps)
+}
+
+// RecordOriginAt is RecordOrigin recording into the shard selected by
+// key — callers on the RPC fast path pass their ULT/ES id so concurrent
+// execution streams take disjoint locks (the per-thread storage of the
+// paper's TAU backend).
+func (p *Profiler) RecordOriginAt(key uint64, bc Breadcrumb, target string, total time.Duration, comps *[NumComponents]uint64) {
 	if !p.Stage().Measures() {
 		return
 	}
-	key := StatKey{BC: bc, Peer: target}
-	p.mu.Lock()
-	s := p.origin[key]
-	if s == nil {
-		s = &CallStats{}
-		p.origin[key] = s
-	}
-	s.record(total, comps)
-	p.mu.Unlock()
+	p.coll.Load().RecordOrigin(key, bc, target, total, comps)
 }
 
 // RecordTarget folds one serviced RPC into the target-side profile.
 // total is the target ULT execution time (t5→t8).
 func (p *Profiler) RecordTarget(bc Breadcrumb, origin string, total time.Duration, comps *[NumComponents]uint64) {
+	p.RecordTargetAt(uint64(bc), bc, origin, total, comps)
+}
+
+// RecordTargetAt is RecordTarget recording into the shard selected by
+// key (the handler ULT's id on the RPC fast path).
+func (p *Profiler) RecordTargetAt(key uint64, bc Breadcrumb, origin string, total time.Duration, comps *[NumComponents]uint64) {
 	if !p.Stage().Measures() {
 		return
 	}
-	key := StatKey{BC: bc, Peer: origin}
-	p.mu.Lock()
-	s := p.target[key]
-	if s == nil {
-		s = &CallStats{}
-		p.target[key] = s
-	}
-	s.record(total, comps)
-	p.mu.Unlock()
+	p.coll.Load().RecordTarget(key, bc, origin, total, comps)
 }
 
-// OriginStats returns a deep copy of the origin-side profile.
-func (p *Profiler) OriginStats() map[StatKey]CallStats { return p.copyStats(true) }
+// Emit appends one trace event, sharded by its request ID. Hot paths
+// that know their execution stream should use EmitAt.
+func (p *Profiler) Emit(ev Event) { p.EmitAt(ev.RequestID, ev) }
 
-// TargetStats returns a deep copy of the target-side profile.
-func (p *Profiler) TargetStats() map[StatKey]CallStats { return p.copyStats(false) }
+// EmitAt appends one trace event into the shard selected by key (the
+// emitting ULT's id on the RPC fast path).
+func (p *Profiler) EmitAt(key uint64, ev Event) { p.coll.Load().Emit(key, ev) }
 
-func (p *Profiler) copyStats(origin bool) map[StatKey]CallStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	src := p.target
-	if origin {
-		src = p.origin
-	}
-	out := make(map[StatKey]CallStats, len(src))
-	for k, v := range src {
-		out[k] = *v
-	}
-	return out
-}
+// TraceLen reports the number of buffered trace events.
+func (p *Profiler) TraceLen() int { return p.coll.Load().TraceLen() }
 
-// Dump serializes the profiler state for offline analysis.
+// TraceDropped reports trace events discarded due to the capacity bound.
+func (p *Profiler) TraceDropped() uint64 { return p.coll.Load().Dropped() }
+
+// TraceEvents returns a merged copy of the buffered trace events,
+// ordered by timestamp then Lamport order.
+func (p *Profiler) TraceEvents() []Event { return p.coll.Load().Events() }
+
+// ResetMeasurements clears the profile maps and trace rings (between
+// experiment repetitions).
+func (p *Profiler) ResetMeasurements() { p.coll.Load().Reset() }
+
+// OriginStats returns a merged deep copy of the origin-side profile.
+func (p *Profiler) OriginStats() map[StatKey]CallStats { return p.coll.Load().OriginStats() }
+
+// TargetStats returns a merged deep copy of the target-side profile.
+func (p *Profiler) TargetStats() map[StatKey]CallStats { return p.coll.Load().TargetStats() }
+
+// Dump serializes the profiler state for offline analysis, folding all
+// collector shards into the single merged per-process view the analysis
+// tools ingest.
 func (p *Profiler) Dump() *ProfileDump {
+	c := p.coll.Load()
 	d := &ProfileDump{
-		Entity:  p.entity,
-		PID:     p.pid,
-		Stage:   p.Stage().String(),
-		Started: p.start,
-		Names:   p.names.Names(),
-		Origin:  make([]DumpEntry, 0),
-		Target:  make([]DumpEntry, 0),
+		Entity:       p.entity,
+		PID:          p.pid,
+		Stage:        p.Stage().String(),
+		Started:      p.start,
+		Names:        p.names.Names(),
+		TraceDropped: c.Dropped(),
+		Origin:       make([]DumpEntry, 0),
+		Target:       make([]DumpEntry, 0),
 	}
-	p.mu.Lock()
-	for k, v := range p.origin {
-		d.Origin = append(d.Origin, DumpEntry{BC: uint64(k.BC), Peer: k.Peer, Stats: *v})
+	for k, v := range c.OriginStats() {
+		d.Origin = append(d.Origin, DumpEntry{BC: uint64(k.BC), Peer: k.Peer, Stats: v})
 	}
-	for k, v := range p.target {
-		d.Target = append(d.Target, DumpEntry{BC: uint64(k.BC), Peer: k.Peer, Stats: *v})
+	for k, v := range c.TargetStats() {
+		d.Target = append(d.Target, DumpEntry{BC: uint64(k.BC), Peer: k.Peer, Stats: v})
 	}
-	p.mu.Unlock()
 	sort.Slice(d.Origin, func(i, j int) bool { return d.Origin[i].less(&d.Origin[j]) })
 	sort.Slice(d.Target, func(i, j int) bool { return d.Target[i].less(&d.Target[j]) })
 	return d

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// TraceSink consumes trace events as the measurement pipeline emits
+// them. The collector's in-memory shard rings are the default buffer; a
+// sink attached via Collector.AddTraceSink additionally observes the
+// live stream, so exporters (JSONL files, Zipkin/OTLP adapters) consume
+// events instead of owning the buffers.
+type TraceSink interface {
+	// WriteEvent consumes one event. Implementations are called from
+	// hot measurement paths and must be safe for concurrent use.
+	WriteEvent(ev Event) error
+	// Flush forces any buffered output out (end of run).
+	Flush() error
+}
+
+// ProfileSink consumes merged per-process profile snapshots.
+type ProfileSink interface {
+	// WriteProfileDump consumes one process's merged profile.
+	WriteProfileDump(d *ProfileDump) error
+	// Flush forces any buffered output out.
+	Flush() error
+}
+
+// Tracer is the default in-memory TraceSink: events accumulate in its
+// bounded buffer for end-of-run snapshots.
+var _ TraceSink = (*Tracer)(nil)
+
+// WriteEvent implements TraceSink over the bounded in-memory buffer.
+func (t *Tracer) WriteEvent(ev Event) error {
+	t.Emit(ev)
+	return nil
+}
+
+// Flush implements TraceSink; the in-memory buffer needs no flushing.
+func (t *Tracer) Flush() error { return nil }
+
+// JSONLTraceSink streams trace events as JSON Lines (one event object
+// per line) to an io.Writer — the low-overhead on-line export format,
+// ingestible with ReadEventsJSONL (and symtrace -jsonl). Writes are
+// serialized by an internal mutex; the buffered encoder keeps the
+// per-event cost to one marshal plus a memory copy.
+type JSONLTraceSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLTraceSink wraps w in a streaming JSONL trace sink.
+func NewJSONLTraceSink(w io.Writer) *JSONLTraceSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLTraceSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// WriteEvent appends one event as a JSON line.
+func (s *JSONLTraceSink) WriteEvent(ev Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Encode(&ev)
+}
+
+// Flush drains the buffered output to the underlying writer.
+func (s *JSONLTraceSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bw.Flush()
+}
+
+// ReadEventsJSONL parses a JSONL trace event stream (the JSONLTraceSink
+// format) back into events.
+func ReadEventsJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("core: parse JSONL trace event %d: %w", len(out), err)
+		}
+		out = append(out, ev)
+	}
+}
+
+// JSONLProfileSink streams profile dumps as JSON Lines (one dump object
+// per line) to an io.Writer.
+type JSONLProfileSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLProfileSink wraps w in a streaming JSONL profile sink.
+func NewJSONLProfileSink(w io.Writer) *JSONLProfileSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLProfileSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// WriteProfileDump appends one merged profile snapshot as a JSON line.
+func (s *JSONLProfileSink) WriteProfileDump(d *ProfileDump) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Encode(d)
+}
+
+// Flush drains the buffered output to the underlying writer.
+func (s *JSONLProfileSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bw.Flush()
+}

@@ -98,6 +98,36 @@ func (c *Cluster) Collect() ([]*core.ProfileDump, []*core.TraceDump) {
 	return profiles, traces
 }
 
+// Export streams every process's merged profile snapshot and trace
+// events into the given sinks (either may be nil) — the pipeline-native
+// alternative to Collect for exporters that consume rather than own the
+// measurement buffers.
+func (c *Cluster) Export(ps core.ProfileSink, ts core.TraceSink) error {
+	for _, inst := range c.instances {
+		if ps != nil {
+			if err := ps.WriteProfileDump(inst.Profiler().Dump()); err != nil {
+				return fmt.Errorf("experiments: export profile for %s: %w", inst.Addr(), err)
+			}
+		}
+		if ts != nil {
+			for _, ev := range inst.Profiler().TraceEvents() {
+				if err := ts.WriteEvent(ev); err != nil {
+					return fmt.Errorf("experiments: export trace for %s: %w", inst.Addr(), err)
+				}
+			}
+		}
+	}
+	if ps != nil {
+		if err := ps.Flush(); err != nil {
+			return err
+		}
+	}
+	if ts != nil {
+		return ts.Flush()
+	}
+	return nil
+}
+
 // Analyze merges the cluster's dumps into the offline analysis views.
 func (c *Cluster) Analyze() (*analysis.MergedProfile, *analysis.TraceSet) {
 	profiles, traces := c.Collect()

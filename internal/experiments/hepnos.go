@@ -154,8 +154,10 @@ type HEPnOSResult struct {
 	BlockedSeries []analysis.BlockedSample
 	OFISeries     []analysis.OFISample
 
-	// TraceSamples counts trace events collected across processes.
+	// TraceSamples counts trace events collected across processes;
+	// TraceDropped counts events lost to per-process capacity bounds.
 	TraceSamples int
+	TraceDropped uint64
 
 	Profile *analysis.MergedProfile
 }
@@ -297,6 +299,7 @@ func runHEPnOSInternal(cfg HEPnOSConfig) (*HEPnOSResult, []*core.ProfileDump, []
 	traces := analysis.MergeTraces(traceDumps)
 	res.Profile = merged
 	res.TraceSamples = len(traces.Events)
+	res.TraceDropped = traces.Dropped
 
 	bc := core.Breadcrumb(0).Push(sdskv.RPCPutPacked)
 	total, comps := merged.CumulativeTargetExecution(bc)

@@ -121,8 +121,8 @@ func TestClockSkewPreservesLamportOrder(t *testing.T) {
 		t.Fatalf("missing %v", k)
 		return core.Event{}
 	}
-	t1 := find(cli.Profiler().Tracer().Events(), core.EvOriginStart)
-	t5 := find(srv.Profiler().Tracer().Events(), core.EvTargetStart)
+	t1 := find(cli.Profiler().TraceEvents(), core.EvOriginStart)
+	t5 := find(srv.Profiler().TraceEvents(), core.EvTargetStart)
 	// Wall clocks disagree wildly...
 	if t1.Timestamp >= t5.Timestamp-int64(30*time.Minute) {
 		t.Fatalf("expected skewed timestamps: t1=%d t5=%d", t1.Timestamp, t5.Timestamp)

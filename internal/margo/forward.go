@@ -107,7 +107,10 @@ func (i *Instance) forward(self *abt.ULT, target, rpcName string, in, out mercur
 		if stage.SamplesPVars() {
 			ev.PVars = i.samplePVars(nil)
 		}
-		i.prof.Tracer().Emit(ev)
+		// Record into the calling ULT's collector shard: concurrent
+		// application ULTs on different execution streams take disjoint
+		// locks (t1).
+		i.prof.EmitAt(self.ID(), ev)
 	}
 
 	ev := abt.NewEventual()
@@ -149,12 +152,12 @@ func (i *Instance) forward(self *abt.ULT, target, rpcName string, in, out mercur
 			comps[core.CompInputSer] = pv.InputSerNanos
 			comps[core.CompOriginCB] = pv.OriginCBNanos
 		}
-		i.prof.RecordOrigin(bc, target, originExec, &comps)
+		i.prof.RecordOriginAt(self.ID(), bc, target, originExec, &comps)
 		endOrder := meta.Order
 		if stage.Injects() {
 			endOrder = i.prof.Clock.Tick()
 		}
-		i.prof.Tracer().Emit(core.Event{
+		i.prof.EmitAt(self.ID(), core.Event{
 			RequestID:  reqID,
 			Order:      endOrder,
 			Kind:       core.EvOriginEnd,

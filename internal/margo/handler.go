@@ -113,8 +113,13 @@ func (c *Context) finish(send func(mercury.Meta, func(error)) error) error {
 		meta = mercury.Meta{HasTrace: true, Order: i.prof.Clock.Tick()}
 	}
 
+	// ult keys this request's measurements to the handler ULT's shard:
+	// handlers running concurrently on different execution streams
+	// record without contending (t8, t13).
+	ult := c.Self.ID()
+
 	if stage.Measures() {
-		i.prof.Tracer().Emit(core.Event{
+		i.prof.EmitAt(ult, core.Event{
 			RequestID:  c.reqID,
 			Order:      meta.Order,
 			Kind:       core.EvTargetEnd,
@@ -145,7 +150,7 @@ func (c *Context) finish(send func(mercury.Meta, func(error)) error) error {
 			comps[core.CompOutputSer] = pv.OutputSerNanos
 			comps[core.CompRDMA] = pv.RDMANanos
 		}
-		i.prof.RecordTarget(bc, origin, targetExec, &comps)
+		i.prof.RecordTargetAt(ult, bc, origin, targetExec, &comps)
 	})
 }
 
@@ -207,7 +212,10 @@ func (i *Instance) runHandler(self *abt.ULT, mh *mercury.Handle, rpcName string,
 		if stage.SamplesPVars() {
 			ev.PVars = i.samplePVars(mh)
 		}
-		i.prof.Tracer().Emit(ev)
+		// The handler ULT's shard receives the t5 event and, in finish,
+		// the t8/t13 measurements — the PVAR samples fused above ride
+		// the same shard rather than a side channel.
+		i.prof.EmitAt(self.ID(), ev)
 	}
 
 	func() {

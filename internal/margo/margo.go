@@ -69,6 +69,17 @@ type Options struct {
 
 	// TraceCapacity bounds the in-memory trace buffer. Default 1<<20.
 	TraceCapacity int
+
+	// MeasurementShards is the number of collector shards the
+	// measurement pipeline spreads concurrent recordings over (rounded
+	// up to a power of two). Default core.DefaultShards; raise it for
+	// servers with many handler streams.
+	MeasurementShards int
+
+	// TraceSinks are streaming consumers attached to the measurement
+	// pipeline at startup; each observes every trace event the instance
+	// emits (e.g. a core.JSONLTraceSink for on-line export).
+	TraceSinks []core.TraceSink
 }
 
 func (o *Options) fillDefaults() {
@@ -137,8 +148,14 @@ func New(opts Options) (*Instance, error) {
 		sys:  core.NewSysSampler(0),
 	}
 	inst.prof = core.NewProfiler(ep.Addr(), opts.Stage)
+	if opts.MeasurementShards > 0 {
+		inst.prof.SetShards(opts.MeasurementShards)
+	}
 	if opts.TraceCapacity > 0 {
 		inst.prof.SetTraceCapacity(opts.TraceCapacity)
+	}
+	for _, s := range opts.TraceSinks {
+		inst.prof.AddTraceSink(s)
 	}
 
 	inst.mainPool = inst.rt.AddPool("main")
@@ -246,12 +263,18 @@ func (i *Instance) WaitIdle(timeout time.Duration) bool {
 	return i.rpcsInFlight.Load() == 0
 }
 
-// Shutdown stops the progress loop and tears down the runtime.
+// AddTraceSink attaches a streaming consumer of this instance's trace
+// events at runtime (attached sinks also survive Shutdown's flush).
+func (i *Instance) AddTraceSink(s core.TraceSink) { i.prof.AddTraceSink(s) }
+
+// Shutdown stops the progress loop, flushes any attached trace sinks,
+// and tears down the runtime.
 func (i *Instance) Shutdown() {
 	if !i.stopping.CompareAndSwap(false, true) {
 		return
 	}
 	i.progressULT.Join(nil)
+	_ = i.prof.FlushSinks()
 	if i.session != nil {
 		i.session.Finalize()
 	}

@@ -1,6 +1,7 @@
 package margo
 
 import (
+	"bytes"
 	"errors"
 	"strings"
 	"testing"
@@ -263,8 +264,8 @@ func TestTraceEventsEmittedAtFourPoints(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	cliEvs := cli.Profiler().Tracer().Events()
-	srvEvs := srv.Profiler().Tracer().Events()
+	cliEvs := cli.Profiler().TraceEvents()
+	srvEvs := srv.Profiler().TraceEvents()
 	kinds := map[core.EventKind]int{}
 	var reqID uint64
 	for _, e := range append(cliEvs, srvEvs...) {
@@ -330,7 +331,7 @@ func TestStageGatingBehaviour(t *testing.T) {
 			}
 			time.Sleep(10 * time.Millisecond)
 
-			if got := cli.Profiler().Tracer().Len() > 0; got != tc.wantTrace {
+			if got := cli.Profiler().TraceLen() > 0; got != tc.wantTrace {
 				t.Errorf("trace emitted = %v, want %v", got, tc.wantTrace)
 			}
 			if got := len(cli.Profiler().OriginStats()) > 0; got != tc.wantProfile {
@@ -491,5 +492,63 @@ func TestDedicatedProgressESOption(t *testing.T) {
 		return cli.Forward(self, srv.Addr(), "ok_rpc", &mercury.Void{}, nil)
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestMeasurementShardsAndTraceSink checks the sharded-pipeline wiring:
+// MeasurementShards configures the collector, a streaming sink attached
+// via Options observes every event the instance emits, and the merged
+// snapshot matches what the sink consumed.
+func TestMeasurementShardsAndTraceSink(t *testing.T) {
+	var sinkBuf bytes.Buffer
+	sink := core.NewJSONLTraceSink(&sinkBuf)
+
+	c := newCluster(t)
+	srv := c.add(t, Options{Mode: ModeServer, Node: "n1", Name: "srv", Stage: core.StageFull,
+		MeasurementShards: 3}) // rounds up to 4
+	cli := c.add(t, Options{Mode: ModeClient, Node: "n0", Name: "cli", Stage: core.StageFull,
+		TraceSinks: []core.TraceSink{sink}})
+
+	if got := srv.Profiler().Collector().NumShards(); got != 4 {
+		t.Fatalf("server shards = %d, want 4", got)
+	}
+
+	srv.Register("sharded_rpc", func(ctx *Context) { ctx.Respond(mercury.Void{}) })
+	cli.RegisterClient("sharded_rpc")
+	const calls = 5
+	for k := 0; k < calls; k++ {
+		if err := call(t, cli, func(self *abt.ULT) error {
+			return cli.Forward(self, srv.Addr(), "sharded_rpc", &mercury.Void{}, nil)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.WaitIdle(2 * time.Second)
+	time.Sleep(10 * time.Millisecond) // let t13 callbacks land
+
+	// The client ring holds t1+t14 per call; the sink saw the same
+	// stream (origin side only — it is attached to the client).
+	if got := cli.Profiler().TraceLen(); got != 2*calls {
+		t.Fatalf("client trace len = %d, want %d", got, 2*calls)
+	}
+	if err := cli.Profiler().FlushSinks(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := core.ReadEventsJSONL(&sinkBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2*calls {
+		t.Fatalf("sink saw %d events, want %d", len(evs), 2*calls)
+	}
+
+	// Target-side profile merged across handler-ULT shards: all calls
+	// present exactly once.
+	var total uint64
+	for _, s := range srv.Profiler().TargetStats() {
+		total += s.Count
+	}
+	if total != calls {
+		t.Fatalf("merged target count = %d, want %d", total, calls)
 	}
 }

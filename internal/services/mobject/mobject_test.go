@@ -166,7 +166,7 @@ func TestTraceContainsFullRequestStructure(t *testing.T) {
 	e.srv.WaitIdle(2 * time.Second)
 
 	var reqID uint64
-	for _, ev := range e.cli.Profiler().Tracer().Events() {
+	for _, ev := range e.cli.Profiler().TraceEvents() {
 		if ev.Kind == core.EvOriginStart && ev.RPCName == RPCWriteOp {
 			reqID = ev.RequestID
 		}
@@ -175,7 +175,7 @@ func TestTraceContainsFullRequestStructure(t *testing.T) {
 		t.Fatal("no origin start event for write_op")
 	}
 	nested := 0
-	for _, ev := range e.srv.Profiler().Tracer().Events() {
+	for _, ev := range e.srv.Profiler().TraceEvents() {
 		if ev.RequestID == reqID && ev.Kind == core.EvTargetStart && ev.RPCName != RPCWriteOp {
 			nested++
 		}
