@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench
+.PHONY: all build test race vet check bench smoke-metrics
 
 all: check
 
@@ -14,10 +14,13 @@ vet:
 	$(GO) vet ./...
 
 # Race-detector pass over the concurrency-heavy packages: the sharded
-# measurement collector and the Margo instrumentation that records into
-# it from many execution streams.
+# measurement collector, the Margo instrumentation that records into it
+# from many execution streams, the telemetry sampler/exposer that reads
+# it live, the policy engine fed by the sampler, and the fabric's
+# completion-queue accessors.
 race:
-	$(GO) test -race ./internal/core/... ./internal/margo/...
+	$(GO) test -race ./internal/core/... ./internal/margo/... \
+		./internal/telemetry/... ./internal/policy/... ./internal/na/...
 
 # check is the pre-commit gate: static analysis, race tests on the
 # measurement pipeline, then the full tier-1 build + test sweep.
@@ -25,3 +28,10 @@ check: vet race build test
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# smoke-metrics spins up a tiny HEPnOS cluster with live telemetry,
+# scrapes /metrics mid-run, and asserts the exposition is well-formed
+# and carries the promised signals (pool gauges, OFI PVARs, trace-drop
+# counters, callpath latency histograms).
+smoke-metrics:
+	$(GO) test ./internal/experiments/ -run TestSmokeMetrics -count=1 -v

@@ -11,6 +11,12 @@
 //	hepnos-bench -figure 10|11|12|13
 //	hepnos-bench -config C5 -out dumps/
 //	hepnos-bench -scale 4              # divide event counts by 4
+//	hepnos-bench -config C1 -metrics :9100   # live /metrics + /snapshot
+//
+// With -metrics, every process gets a live telemetry sampler and the
+// run serves Prometheus exposition while it executes:
+//
+//	curl http://localhost:9100/metrics
 package main
 
 import (
@@ -29,7 +35,9 @@ func main() {
 	figure := flag.Int("figure", 0, "reproduce one figure (9, 10, 11, 12, or 13)")
 	scale := flag.Int("scale", 1, "divide per-client event counts by this factor")
 	out := flag.String("out", "", "directory to write per-process dumps into")
+	metrics := flag.String("metrics", "", "serve live /metrics + /snapshot on this address during runs (e.g. :9100)")
 	flag.Parse()
+	metricsAddr = *metrics
 
 	switch {
 	case *configName != "":
@@ -42,6 +50,9 @@ func main() {
 		}
 	}
 }
+
+// metricsAddr, when non-empty, enables live telemetry on every run.
+var metricsAddr string
 
 func lookup(name string) experiments.HEPnOSConfig {
 	for _, cfg := range experiments.TableIV() {
@@ -61,10 +72,16 @@ func run(cfg experiments.HEPnOSConfig, scale int) *experiments.HEPnOSResult {
 			cfg.EventsPerClient = 64
 		}
 	}
+	if metricsAddr != "" {
+		cfg.MetricsAddr = metricsAddr
+	}
 	res, err := experiments.RunHEPnOS(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hepnos-bench:", err)
 		os.Exit(1)
+	}
+	if res.MetricsAddr != "" {
+		fmt.Printf("[%s] served live telemetry on http://%s/metrics\n", cfg.Name, res.MetricsAddr)
 	}
 	return res
 }
@@ -96,6 +113,16 @@ func report(res *experiments.HEPnOSResult) {
 		len(res.BlockedSeries), res.MaxBlocked())
 	fmt.Printf("  ofi events read: %d samples, at-cap %.1f%% of passes (Fig 12 series)\n",
 		len(res.OFISeries), 100*res.OFIAtCapFraction())
+	if res.Profile != nil {
+		fmt.Printf("  dominant callpath latency percentiles (two-per-octave histogram):\n")
+		for _, row := range res.Profile.DominantCallpaths(3) {
+			fmt.Printf("    %-28s n=%-8d p50 %-10v p95 %-10v p99 %v\n",
+				row.Name, row.Count,
+				row.Percentile(50).Round(time.Microsecond),
+				row.Percentile(95).Round(time.Microsecond),
+				row.Percentile(99).Round(time.Microsecond))
+		}
+	}
 }
 
 func runOne(name string, scale int, out string) {

@@ -163,19 +163,25 @@ func (c *Collector) AddTraceSink(s TraceSink) {
 }
 
 // FlushSinks flushes every attached sink, returning the first error.
+// Flush failures count toward SinkErrors like per-event write failures,
+// so the telemetry sink_errors stat covers both loss modes.
 func (c *Collector) FlushSinks() error {
 	var first error
 	if sinks := c.sinks.Load(); sinks != nil {
 		for _, s := range *sinks {
-			if err := s.Flush(); err != nil && first == nil {
-				first = err
+			if err := s.Flush(); err != nil {
+				c.sinkErrs.Add(1)
+				if first == nil {
+					first = err
+				}
 			}
 		}
 	}
 	return first
 }
 
-// SinkErrors reports events a sink failed to consume.
+// SinkErrors reports events a sink failed to consume plus flushes that
+// failed — the telemetry plane's sink_errors stat.
 func (c *Collector) SinkErrors() uint64 { return c.sinkErrs.Load() }
 
 // copySinksFrom carries sink attachments over from a prior collector

@@ -459,12 +459,17 @@ func TestCallStatsHistogramMergeProperty(t *testing.T) {
 
 func TestHistBucketBoundaries(t *testing.T) {
 	cases := map[uint64]int{
-		0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 1023: 9, 1024: 10,
-		1 << 43: 43, 1 << 60: HistBuckets - 1,
+		// Underflow bucket: everything below 2^10.
+		0: 0, 1: 0, 512: 0, 1023: 0,
+		// Two buckets per octave: boundaries at 2^k and 3*2^(k-1).
+		1024: 1, 1535: 1, 1536: 2, 2047: 2,
+		2048: 3, 3071: 3, 3072: 4, 4095: 4,
+		// Top of the tiled range and the overflow clamp.
+		1 << 29: 39, 3 << 28: 40, 1 << 30: 41, 1 << 60: HistBuckets - 1,
 	}
 	for n, want := range cases {
-		if got := histBucket(n); got != want {
-			t.Errorf("histBucket(%d) = %d, want %d", n, got, want)
+		if got := HistBucket(n); got != want {
+			t.Errorf("HistBucket(%d) = %d, want %d", n, got, want)
 		}
 	}
 }

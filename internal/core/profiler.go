@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/bits"
 	"sort"
 	"sync/atomic"
@@ -41,10 +42,23 @@ type StatKey struct {
 	Peer string
 }
 
-// HistBuckets is the number of log2 latency buckets per callpath:
-// bucket i counts calls with latency in [2^i, 2^(i+1)) nanoseconds,
-// covering sub-microsecond through ~hours.
-const HistBuckets = 44
+// HistBuckets is the number of log-scale latency buckets per callpath.
+// Buckets are spaced two per octave (boundaries at 2^k and 3·2^(k-1)
+// nanoseconds), giving ≤±25% relative error on quantile estimates —
+// twice the resolution of plain log2 buckets for the same mergeability:
+// bucket counts add element-wise, so Merge stays associative and
+// order-independent (the shard-merge property of the collector).
+//
+// Bucket 0 is the underflow bucket [0, 2^histMinOctave); buckets
+// 1..HistBuckets-2 tile [2^histMinOctave, 2^(histMinOctave+20)) — about
+// 1µs through 1s — and the last bucket absorbs everything above.
+const HistBuckets = 42
+
+// histMinOctave is the exponent of the first two-per-octave boundary:
+// latencies below 2^histMinOctave ns (≈1µs) land in the underflow
+// bucket. RPC-scale latencies on the simulated fabric are ≥ microseconds,
+// so resolution is spent where the distributions actually live.
+const histMinOctave = 10
 
 // CallStats accumulates timing for one StatKey, including the call-time
 // distribution the paper's question 1 asks for.
@@ -57,16 +71,39 @@ type CallStats struct {
 	Hist       [HistBuckets]uint32 `json:"Hist,omitempty"`
 }
 
-// histBucket maps a latency to its log2 bucket.
-func histBucket(n uint64) int {
-	b := bits.Len64(n)
-	if b > 0 {
-		b--
+// HistBucket maps a latency in nanoseconds to its histogram bucket:
+// 2·(log2(n)−histMinOctave)+half+1, where half selects the upper half
+// of the octave (the 3·2^(k-1) boundary), clamped into the table.
+func HistBucket(n uint64) int {
+	if n < 1<<histMinOctave {
+		return 0
 	}
-	if b >= HistBuckets {
-		b = HistBuckets - 1
+	o := bits.Len64(n) - 1 // floor(log2 n), o >= histMinOctave
+	half := int(n >> (o - 1) & 1)
+	idx := 2*(o-histMinOctave) + half + 1
+	if idx >= HistBuckets {
+		idx = HistBuckets - 1
 	}
-	return b
+	return idx
+}
+
+// HistBucketBounds returns the [lo, hi) nanosecond range of bucket i.
+// Bucket 0 is [0, 2^histMinOctave); the last bucket's hi is MaxUint64
+// (it absorbs all latencies past the tiled range). Consumers exporting
+// Prometheus histograms use hi as the bucket's `le` boundary.
+func HistBucketBounds(i int) (lo, hi uint64) {
+	lower := func(j int) uint64 {
+		if j <= 0 {
+			return 0
+		}
+		k := (j - 1) / 2
+		half := uint64((j - 1) % 2)
+		return (2 + half) << (histMinOctave + k - 1)
+	}
+	if i >= HistBuckets-1 {
+		return lower(HistBuckets - 1), math.MaxUint64
+	}
+	return lower(i), lower(i + 1)
 }
 
 // record folds one call into the stats. total is the side's primary
@@ -81,7 +118,7 @@ func (s *CallStats) record(total time.Duration, comps *[NumComponents]uint64) {
 	if n > s.MaxNanos {
 		s.MaxNanos = n
 	}
-	s.Hist[histBucket(n)]++
+	s.Hist[HistBucket(n)]++
 	if comps != nil {
 		for i, v := range comps {
 			s.Components[i] += v
@@ -123,7 +160,9 @@ func (s *CallStats) Mean() time.Duration {
 }
 
 // Percentile estimates the p-th percentile latency (0 < p <= 100) from
-// the log2 histogram, interpolating linearly within the bucket.
+// the two-per-octave histogram, interpolating linearly within the
+// bucket. The unbounded top bucket is capped at the observed maximum
+// before interpolating, so estimates never exceed MaxNanos.
 func (s *CallStats) Percentile(p float64) time.Duration {
 	if s.Count == 0 {
 		return 0
@@ -142,10 +181,15 @@ func (s *CallStats) Percentile(p float64) time.Duration {
 		}
 		next := seen + float64(c)
 		if next >= target {
-			lo := uint64(1) << i
-			hi := lo << 1
+			lo, hi := HistBucketBounds(i)
+			if hi > s.MaxNanos {
+				hi = s.MaxNanos
+			}
+			if hi < lo {
+				hi = lo
+			}
 			frac := (target - seen) / float64(c)
-			est := float64(lo) + frac*float64(hi-lo)
+			est := float64(lo) + frac*(float64(hi)-float64(lo))
 			// Clamp into the observed range.
 			if est < float64(s.MinNanos) {
 				est = float64(s.MinNanos)

@@ -47,10 +47,15 @@ func (t *Tracer) Flush() error { return nil }
 // ingestible with ReadEventsJSONL (and symtrace -jsonl). Writes are
 // serialized by an internal mutex; the buffered encoder keeps the
 // per-event cost to one marshal plus a memory copy.
+//
+// Write errors are sticky: the first failure is retained and reported by
+// every subsequent WriteEvent and Flush, so an exporter that only checks
+// the final Flush (e.g. margo's Shutdown) still observes mid-run losses.
 type JSONLTraceSink struct {
 	mu  sync.Mutex
 	bw  *bufio.Writer
 	enc *json.Encoder
+	err error
 }
 
 // NewJSONLTraceSink wraps w in a streaming JSONL trace sink.
@@ -63,14 +68,28 @@ func NewJSONLTraceSink(w io.Writer) *JSONLTraceSink {
 func (s *JSONLTraceSink) WriteEvent(ev Event) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.enc.Encode(&ev)
+	if err := s.enc.Encode(&ev); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
 }
 
-// Flush drains the buffered output to the underlying writer.
+// Flush drains the buffered output to the underlying writer, returning
+// the first error the sink has seen (including earlier write failures).
 func (s *JSONLTraceSink) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.bw.Flush()
+	if err := s.bw.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Err reports the sink's sticky error, if any.
+func (s *JSONLTraceSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
 }
 
 // ReadEventsJSONL parses a JSONL trace event stream (the JSONLTraceSink
@@ -91,11 +110,13 @@ func ReadEventsJSONL(r io.Reader) ([]Event, error) {
 }
 
 // JSONLProfileSink streams profile dumps as JSON Lines (one dump object
-// per line) to an io.Writer.
+// per line) to an io.Writer. Like JSONLTraceSink, write errors are
+// sticky and resurface from Flush.
 type JSONLProfileSink struct {
 	mu  sync.Mutex
 	bw  *bufio.Writer
 	enc *json.Encoder
+	err error
 }
 
 // NewJSONLProfileSink wraps w in a streaming JSONL profile sink.
@@ -108,12 +129,26 @@ func NewJSONLProfileSink(w io.Writer) *JSONLProfileSink {
 func (s *JSONLProfileSink) WriteProfileDump(d *ProfileDump) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.enc.Encode(d)
+	if err := s.enc.Encode(d); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
 }
 
-// Flush drains the buffered output to the underlying writer.
+// Flush drains the buffered output to the underlying writer, returning
+// the first error the sink has seen (including earlier write failures).
 func (s *JSONLProfileSink) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.bw.Flush()
+	if err := s.bw.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Err reports the sink's sticky error, if any.
+func (s *JSONLProfileSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
 }

@@ -16,6 +16,7 @@ import (
 	"symbiosys/internal/margo"
 	"symbiosys/internal/mercury"
 	"symbiosys/internal/na"
+	"symbiosys/internal/telemetry"
 )
 
 // Cluster is one virtual deployment: a fabric plus the Margo instances
@@ -23,6 +24,11 @@ import (
 type Cluster struct {
 	Fabric    *na.Fabric
 	instances []*margo.Instance
+
+	// telemetry, when set via EnableTelemetry, is applied to every
+	// subsequently started process; exposer aggregates their samplers.
+	telemetry *telemetry.Options
+	exposer   *telemetry.Exposer
 }
 
 // NewCluster creates a cluster over a fabric with the given cost model.
@@ -56,22 +62,60 @@ func (c *Cluster) Start(opts ProcessOptions) (*margo.Instance, error) {
 		HandlerStreams:      opts.HandlerStreams,
 		DedicatedProgressES: opts.DedicatedProgressES,
 		Stage:               opts.Stage,
+		Telemetry:           c.telemetry,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: start %s/%s: %w", opts.Node, opts.Name, err)
 	}
 	c.instances = append(c.instances, inst)
+	if c.exposer != nil && inst.Sampler() != nil {
+		c.exposer.Register(inst.Sampler())
+	}
 	return inst, nil
+}
+
+// EnableTelemetry attaches a live sampler (with the given options) to
+// every process started after this call and aggregates them under the
+// cluster's exposer. Call before Start; then ServeMetrics to scrape.
+func (c *Cluster) EnableTelemetry(opts telemetry.Options) {
+	c.telemetry = &opts
+	if c.exposer == nil {
+		c.exposer = telemetry.NewExposer()
+	}
+}
+
+// Exposer returns the cluster's telemetry exposer (nil until
+// EnableTelemetry).
+func (c *Cluster) Exposer() *telemetry.Exposer { return c.exposer }
+
+// ServeMetrics starts the cluster's /metrics + /snapshot endpoint on
+// addr (":0" picks a free port), returning the bound address. Requires
+// EnableTelemetry first.
+func (c *Cluster) ServeMetrics(addr string) (string, error) {
+	if c.exposer == nil {
+		return "", fmt.Errorf("experiments: ServeMetrics before EnableTelemetry")
+	}
+	return c.exposer.Serve(addr)
 }
 
 // Instances returns every process started on the cluster.
 func (c *Cluster) Instances() []*margo.Instance { return c.instances }
 
-// Shutdown tears down every process.
-func (c *Cluster) Shutdown() {
-	for _, inst := range c.instances {
-		inst.Shutdown()
+// Shutdown tears down every process (and the metrics endpoint, if
+// serving), returning the first teardown or sink-flush error.
+func (c *Cluster) Shutdown() error {
+	var first error
+	if c.exposer != nil {
+		if err := c.exposer.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
+	for _, inst := range c.instances {
+		if err := inst.Shutdown(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // WaitIdle blocks until no process has RPCs in flight.

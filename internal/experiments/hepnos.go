@@ -10,6 +10,7 @@ import (
 	"symbiosys/internal/margo"
 	"symbiosys/internal/services/hepnos"
 	"symbiosys/internal/services/sdskv"
+	"symbiosys/internal/telemetry"
 	"symbiosys/internal/workload/dataloader"
 )
 
@@ -51,6 +52,14 @@ type HEPnOSConfig struct {
 
 	Backend string
 	Stage   core.Stage
+
+	// MetricsAddr, when non-empty, enables live telemetry on every
+	// process of the run and serves /metrics + /snapshot there for its
+	// duration (":0" picks a free port; see HEPnOSResult.MetricsAddr
+	// for the bound address). MetricsInterval overrides the default
+	// 100ms sampling tick.
+	MetricsAddr     string
+	MetricsInterval time.Duration
 }
 
 func (c HEPnOSConfig) withDefaults() HEPnOSConfig {
@@ -160,6 +169,10 @@ type HEPnOSResult struct {
 	TraceDropped uint64
 
 	Profile *analysis.MergedProfile
+
+	// MetricsAddr is the bound live-telemetry address when the run was
+	// started with Config.MetricsAddr set (empty otherwise).
+	MetricsAddr string
 }
 
 // HandlerFraction returns the target-handler share of cumulative target
@@ -216,6 +229,16 @@ func runHEPnOSInternal(cfg HEPnOSConfig) (*HEPnOSResult, []*core.ProfileDump, []
 	cfg = cfg.withDefaults()
 	cluster := NewCluster(DefaultFabric())
 	defer cluster.Shutdown()
+
+	var metricsAddr string
+	if cfg.MetricsAddr != "" {
+		cluster.EnableTelemetry(telemetry.Options{Interval: cfg.MetricsInterval})
+		addr, err := cluster.ServeMetrics(cfg.MetricsAddr)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("experiments: serve metrics: %w", err)
+		}
+		metricsAddr = addr
+	}
 
 	// Servers, ServersPerNode per virtual node.
 	var infos []hepnos.ServerInfo
@@ -290,7 +313,7 @@ func runHEPnOSInternal(cfg HEPnOSConfig) (*HEPnOSResult, []*core.ProfileDump, []
 	// Let target-side completion callbacks land.
 	time.Sleep(20 * time.Millisecond)
 
-	res := &HEPnOSResult{Config: cfg, WallTime: wall}
+	res := &HEPnOSResult{Config: cfg, WallTime: wall, MetricsAddr: metricsAddr}
 	for _, s := range stored {
 		res.EventsStored += s
 	}

@@ -24,6 +24,7 @@ import (
 	"symbiosys/internal/mercury"
 	"symbiosys/internal/mercury/pvar"
 	"symbiosys/internal/na"
+	"symbiosys/internal/telemetry"
 )
 
 // Mode selects client or server behaviour for an instance.
@@ -80,6 +81,12 @@ type Options struct {
 	// pipeline at startup; each observes every trace event the instance
 	// emits (e.g. a core.JSONLTraceSink for on-line export).
 	TraceSinks []core.TraceSink
+
+	// Telemetry, when non-nil, attaches a live telemetry sampler that
+	// snapshots PVARs, pool occupancy, completion-queue state, and
+	// collector health on the configured tick. Nil (the default) means
+	// no sampler goroutine and no per-tick cost.
+	Telemetry *telemetry.Options
 }
 
 func (o *Options) fillDefaults() {
@@ -119,6 +126,12 @@ type Instance struct {
 	stopping    atomic.Bool
 
 	rpcsInFlight atomic.Int64
+
+	// handlerStreams is read by monitors while AddHandlerStreams grows
+	// it from policy goroutines, so it lives outside opts.
+	handlerStreams atomic.Int64
+
+	sampler *telemetry.Sampler
 }
 
 // ULT-local key types for metadata propagation (paper §IV-A1: the
@@ -173,8 +186,13 @@ func New(opts Options) (*Instance, error) {
 		inst.rt.AddXStreams("handler-es", opts.HandlerStreams, inst.handlerPool)
 	}
 
+	inst.handlerStreams.Store(int64(opts.HandlerStreams))
 	inst.initPVarSession()
 	inst.progressULT = inst.progressPool.Create("margo-progress", inst.progressLoop)
+	if opts.Telemetry != nil {
+		inst.sampler = telemetry.NewSampler(inst, *opts.Telemetry)
+		inst.sampler.Start()
+	}
 	return inst, nil
 }
 
@@ -234,12 +252,12 @@ func (i *Instance) AddHandlerStreams(n int) error {
 		return fmt.Errorf("margo: AddHandlerStreams(%d)", n)
 	}
 	i.rt.AddXStreams("handler-es-extra", n, i.handlerPool)
-	i.opts.HandlerStreams += n
+	i.handlerStreams.Add(int64(n))
 	return nil
 }
 
 // HandlerStreams reports the current handler execution stream count.
-func (i *Instance) HandlerStreams() int { return i.opts.HandlerStreams }
+func (i *Instance) HandlerStreams() int { return int(i.handlerStreams.Load()) }
 
 // OFIMaxEvents reports the progress loop's completion read budget.
 func (i *Instance) OFIMaxEvents() int { return i.hg.Config().OFIMaxEvents }
@@ -267,19 +285,28 @@ func (i *Instance) WaitIdle(timeout time.Duration) bool {
 // events at runtime (attached sinks also survive Shutdown's flush).
 func (i *Instance) AddTraceSink(s core.TraceSink) { i.prof.AddTraceSink(s) }
 
-// Shutdown stops the progress loop, flushes any attached trace sinks,
-// and tears down the runtime.
-func (i *Instance) Shutdown() {
+// Sampler returns the instance's telemetry sampler, or nil when
+// Options.Telemetry was not set.
+func (i *Instance) Sampler() *telemetry.Sampler { return i.sampler }
+
+// Shutdown stops the telemetry sampler and progress loop, flushes any
+// attached trace sinks, and tears down the runtime. It returns the
+// first sink flush error, so exporters learn about lost events.
+func (i *Instance) Shutdown() error {
 	if !i.stopping.CompareAndSwap(false, true) {
-		return
+		return nil
+	}
+	if i.sampler != nil {
+		i.sampler.Stop()
 	}
 	i.progressULT.Join(nil)
-	_ = i.prof.FlushSinks()
+	err := i.prof.FlushSinks()
 	if i.session != nil {
 		i.session.Finalize()
 	}
 	i.ep.Close()
 	i.rt.Shutdown()
+	return err
 }
 
 // initPVarSession opens Margo's sampling session with Mercury and

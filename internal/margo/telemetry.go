@@ -1,0 +1,111 @@
+package margo
+
+import (
+	"sort"
+	"time"
+
+	"symbiosys/internal/core"
+	"symbiosys/internal/mercury/pvar"
+	"symbiosys/internal/telemetry"
+)
+
+// margo.Instance implements telemetry.Source: the sampler pulls one
+// Sample per tick through the same PVAR session Margo opened at
+// initialization (paper Figure 3), so live monitoring reads exactly the
+// variables the measurement pipeline fuses into traces.
+var _ telemetry.Source = (*Instance)(nil)
+
+// TelemetrySample snapshots the instance's live state for the
+// telemetry sampler: every library-global PVAR, per-pool occupancy,
+// na-layer completion-queue counters, and collector health.
+func (i *Instance) TelemetrySample() telemetry.Sample {
+	s := telemetry.Sample{
+		UnixNanos:      time.Now().UnixNano(),
+		CQDepth:        i.ep.CQDepth(),
+		EventsRead:     i.ep.EventsRead(),
+		EventsPosted:   i.ep.EventsPosted(),
+		CQOverflows:    i.ep.Overflows(),
+		OFIMaxEvents:   i.hg.OFIMaxEvents(),
+		HandlerStreams: i.HandlerStreams(),
+		RPCsInFlight:   i.rpcsInFlight.Load(),
+		SysRefreshes:   i.sys.Refreshes(),
+	}
+
+	sys := i.sys.Sample()
+	s.HeapBytes = sys.HeapBytes
+	s.Goroutines = sys.Goroutines
+
+	coll := i.prof.Collector()
+	s.TraceLen = coll.TraceLen()
+	s.TraceDropped = coll.Dropped()
+	s.SinkErrors = coll.SinkErrors()
+	var handler, total uint64
+	for _, st := range coll.OriginStats() {
+		s.OriginCalls += st.Count
+	}
+	for _, st := range coll.TargetStats() {
+		s.TargetCalls += st.Count
+		handler += st.Components[core.CompHandler]
+		total += st.CumNanos
+	}
+	s.TargetHandlerNanos = handler
+	s.TargetTotalNanos = total
+
+	if infos, err := i.session.Query(); err == nil {
+		for _, info := range infos {
+			if info.Binding != pvar.BindNoObject {
+				continue // handle-bound PVARs have no instance-wide value
+			}
+			h := i.pvarGlobals[info.Name]
+			if h == nil {
+				continue // Margo only holds handles for the fused set
+			}
+			v, err := i.session.Read(h, nil)
+			if err != nil {
+				continue
+			}
+			s.PVars = append(s.PVars, telemetry.PVarValue{
+				Name:    info.Name,
+				Counter: info.Class == pvar.ClassCounter,
+				Value:   v,
+			})
+		}
+	}
+
+	pools := i.rt.Pools()
+	sort.Slice(pools, func(a, b int) bool { return pools[a].Name() < pools[b].Name() })
+	for _, p := range pools {
+		st := p.Snapshot()
+		s.Pools = append(s.Pools, telemetry.PoolStat{
+			Name:     p.Name(),
+			Runnable: int64(st.Runnable),
+			Blocked:  st.Blocked,
+			Created:  st.Created,
+			Executed: st.Executed,
+		})
+	}
+	return s
+}
+
+// CallpathStats exports the per-callpath latency statistics with
+// human-readable paths (hop hashes resolved through the instance's name
+// registry), both sides of the RPC.
+func (i *Instance) CallpathStats() []telemetry.CallpathStat {
+	names := i.prof.Names()
+	coll := i.prof.Collector()
+	var out []telemetry.CallpathStat
+	for side, stats := range map[string]map[core.StatKey]core.CallStats{
+		"origin": coll.OriginStats(),
+		"target": coll.TargetStats(),
+	} {
+		for k, st := range stats {
+			out = append(out, telemetry.CallpathStat{
+				Side:  side,
+				Path:  names.Format(k.BC),
+				Peer:  k.Peer,
+				Stats: st,
+			})
+		}
+	}
+	return out
+}

@@ -74,6 +74,11 @@ type Class struct {
 	ep  *na.Endpoint
 	cfg Config
 
+	// ofiMax is the live OFI_max_events bound. It lives outside cfg
+	// because SetOFIMaxEvents retunes it from policy/monitor goroutines
+	// while the progress loop reads it every iteration.
+	ofiMax atomic.Int64
+
 	mu     sync.Mutex
 	rpcs   map[uint32]*rpcDef
 	posted map[uint64]*Handle
@@ -116,6 +121,7 @@ func NewClass(ep *na.Endpoint, cfg Config) *Class {
 		posted: make(map[uint64]*Handle),
 		pvars:  pvar.NewRegistry(),
 	}
+	c.ofiMax.Store(int64(cfg.OFIMaxEvents))
 	c.registerPVars()
 	return c
 }
@@ -123,8 +129,13 @@ func NewClass(ep *na.Endpoint, cfg Config) *Class {
 // Addr returns the instance's fabric address.
 func (c *Class) Addr() string { return c.ep.Addr() }
 
-// Config returns the instance configuration.
-func (c *Class) Config() Config { return c.cfg }
+// Config returns the instance configuration, with OFIMaxEvents
+// reflecting any runtime retuning via SetOFIMaxEvents.
+func (c *Class) Config() Config {
+	cfg := c.cfg
+	cfg.OFIMaxEvents = int(c.ofiMax.Load())
+	return cfg
+}
 
 // PVars returns the instance's performance-variable registry.
 func (c *Class) PVars() *pvar.Registry { return c.pvars }
@@ -133,9 +144,12 @@ func (c *Class) PVars() *pvar.Registry { return c.pvars }
 // runtime (used by the paper's C5→C6 remediation).
 func (c *Class) SetOFIMaxEvents(n int) {
 	if n > 0 {
-		c.cfg.OFIMaxEvents = n
+		c.ofiMax.Store(int64(n))
 	}
 }
+
+// OFIMaxEvents reports the live per-progress completion read bound.
+func (c *Class) OFIMaxEvents() int { return int(c.ofiMax.Load()) }
 
 // hashRPC derives the stable 32-bit identifier of an RPC name.
 func hashRPC(name string) uint32 {
@@ -193,9 +207,10 @@ func (c *Class) enqueue(fn func(enqueued time.Time)) {
 // available it waits up to timeout for one. It returns the number of
 // events read — the value of the num_ofi_events_read PVAR.
 func (c *Class) Progress(timeout time.Duration) int {
-	evs := c.ep.Poll(c.cfg.OFIMaxEvents)
+	max := int(c.ofiMax.Load())
+	evs := c.ep.Poll(max)
 	if len(evs) == 0 && timeout > 0 && c.ep.Wait(timeout) {
-		evs = c.ep.Poll(c.cfg.OFIMaxEvents)
+		evs = c.ep.Poll(max)
 	}
 	c.ofiRead.Set(int64(len(evs)))
 	for _, ev := range evs {

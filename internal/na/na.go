@@ -368,6 +368,21 @@ func (e *Endpoint) Wait(timeout time.Duration) bool {
 // Pending reports the instantaneous completion-queue length.
 func (e *Endpoint) Pending() int { return e.cq.len() }
 
+// CQDepth reports the instantaneous completion-queue length (alias of
+// Pending under the name the telemetry plane exports it as).
+func (e *Endpoint) CQDepth() int { return e.cq.len() }
+
+// EventsRead reports the cumulative number of completion events drained
+// by Poll — the na-layer counter behind the num_ofi_events_read PVAR.
+func (e *Endpoint) EventsRead() uint64 { return e.cq.read.Load() }
+
+// EventsPosted reports the cumulative number of completion events
+// successfully enqueued (overflowed events are not counted here).
+func (e *Endpoint) EventsPosted() uint64 { return e.cq.posted.Load() }
+
+// CQDepthHWM reports the completion queue's length high-water mark.
+func (e *Endpoint) CQDepthHWM() int { return int(e.cq.lenHWM.Load()) }
+
 // Overflows reports how many events could not be queued because the
 // completion queue was at capacity.
 func (e *Endpoint) Overflows() uint64 { return e.cq.overflows.Load() }

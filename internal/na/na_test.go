@@ -326,3 +326,35 @@ func TestPerPairOrderingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCQAccessors(t *testing.T) {
+	_, a, b := newPair(t, DefaultConfig())
+	const n = 5
+	for i := 0; i < n; i++ {
+		a.Send(b.Addr(), TagUnexpected, []byte("x"), i)
+	}
+	// Wait for all deliveries without draining b yet.
+	deadline := time.Now().Add(2 * time.Second)
+	for b.CQDepth() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("CQDepth = %d, want %d", b.CQDepth(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := b.EventsPosted(); got != n {
+		t.Fatalf("EventsPosted = %d, want %d", got, n)
+	}
+	if got := b.EventsRead(); got != 0 {
+		t.Fatalf("EventsRead before poll = %d, want 0", got)
+	}
+	if hwm := b.CQDepthHWM(); hwm < n {
+		t.Fatalf("CQDepthHWM = %d, want >= %d", hwm, n)
+	}
+	waitEvents(t, b, n)
+	if got := b.EventsRead(); got != n {
+		t.Fatalf("EventsRead after poll = %d, want %d", got, n)
+	}
+	if got := b.CQDepth(); got != 0 {
+		t.Fatalf("CQDepth after drain = %d, want 0", got)
+	}
+}

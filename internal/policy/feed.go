@@ -1,0 +1,89 @@
+package policy
+
+import (
+	"time"
+
+	"symbiosys/internal/mercury"
+	"symbiosys/internal/telemetry"
+)
+
+// TelemetryFeed adapts a live telemetry sampler into a SnapshotFeed:
+// the engine's windowed fractions are derived from the sampler's series
+// instead of probing the instance, so monitoring cost is paid once per
+// telemetry tick no matter how many consumers watch. The feed reports
+// ok=false until the sampler has produced a new tick since the last
+// evaluation (and at least two ticks overall, so deltas exist).
+func TelemetryFeed(s *telemetry.Sampler) SnapshotFeed {
+	var lastSeen uint64
+	var prevHandler, prevExec float64
+	return func() (Snapshot, bool) {
+		ticks := s.Ticks()
+		if ticks < 2 || ticks == lastSeen {
+			return Snapshot{}, false
+		}
+		lastSeen = ticks
+		last, _ := s.Last()
+
+		snap := Snapshot{
+			At:             time.Unix(0, last.UnixNanos),
+			Entity:         s.Source().Addr(),
+			HandlerStreams: last.HandlerStreams,
+			OFIMaxEvents:   last.OFIMaxEvents,
+			InFlight:       last.RPCsInFlight,
+			NetworkPending: last.CQDepth,
+		}
+		snap.CompletionQueueLen = int(pvarValue(last, mercury.PVarCompletionQueueSize))
+
+		for _, p := range last.Pools {
+			if p.Name == "handlers" {
+				snap.HandlerRunnable = p.Runnable
+				snap.HandlerBlocked = p.Blocked
+				break
+			}
+		}
+
+		// Windowed handler fraction from cumulative-counter deltas since
+		// the previous evaluation (the same Figure 9 diagnosis the
+		// direct-probe path computes, fed from the series).
+		handler, exec := float64(last.TargetHandlerNanos), float64(last.TargetTotalNanos)
+		dh, de := handler-prevHandler, exec-prevExec
+		prevHandler, prevExec = handler, exec
+		snap.WindowTargetExec = time.Duration(de)
+		if de > 0 {
+			snap.HandlerFraction = dh / de
+		}
+
+		// OFI budget pressure: pointwise over the buffered window,
+		// comparing the events-read PVAR against the live budget at each
+		// tick (the budget series moves when a remediation fires).
+		_, reads, okR := s.SeriesSnapshot("pvar/" + mercury.PVarNumOFIEventsRead)
+		_, caps, okC := s.SeriesSnapshot("ofi_max_events")
+		if okR && okC {
+			n := len(reads)
+			if len(caps) < n {
+				n = len(caps)
+			}
+			atCap := 0
+			for i := 0; i < n; i++ {
+				if reads[len(reads)-1-i].Value >= caps[len(caps)-1-i].Value {
+					atCap++
+				}
+			}
+			if n > 0 {
+				snap.OFIAtCapFraction = float64(atCap) / float64(n)
+				snap.OFIAtCap = reads[len(reads)-1].Value >= caps[len(caps)-1].Value
+			}
+		}
+		return snap, true
+	}
+}
+
+// pvarValue extracts one PVAR from a sample by name (zero if absent).
+func pvarValue(s telemetry.Sample, name string) uint64 {
+	for _, pv := range s.PVars {
+		if pv.Name == name {
+			return pv.Value
+		}
+	}
+	return 0
+}

@@ -1,0 +1,135 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"symbiosys/internal/core"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/mercury"
+	"symbiosys/internal/na"
+	"symbiosys/internal/telemetry"
+)
+
+// newTelemetryEnv is newEnv with a telemetry sampler attached to the
+// server (manual ticks: the tests drive SampleOnce explicitly).
+func newTelemetryEnv(t *testing.T, streams int) *env {
+	t.Helper()
+	f := na.NewFabric(na.DefaultConfig())
+	srv, err := margo.New(margo.Options{
+		Mode: margo.ModeServer, Node: "n1", Name: "srv", Fabric: f,
+		HandlerStreams: streams, Stage: core.StageFull,
+		Telemetry: &telemetry.Options{Interval: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := margo.New(margo.Options{
+		Mode: margo.ModeClient, Node: "n0", Name: "cli", Fabric: f, Stage: core.StageFull,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Shutdown(); srv.Shutdown() })
+	srv.Register("work_rpc", func(ctx *margo.Context) {
+		ctx.Compute(2 * time.Millisecond)
+		ctx.Respond(mercury.Void{})
+	})
+	cli.RegisterClient("work_rpc")
+	return &env{srv: srv, cli: cli}
+}
+
+func TestTelemetryFeedFreshness(t *testing.T) {
+	e := newTelemetryEnv(t, 1)
+	s := e.srv.Sampler()
+	if s == nil {
+		t.Fatal("no sampler attached despite Options.Telemetry")
+	}
+	feed := TelemetryFeed(s)
+
+	// Wait for the sampler goroutine's initial sample so tick counts
+	// below are deterministic.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Ticks() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// One tick is not enough for deltas.
+	if _, ok := feed(); ok {
+		t.Fatal("feed reported fresh with fewer than two ticks")
+	}
+	s.SampleOnce()
+	if _, ok := feed(); !ok {
+		t.Fatal("feed stale after two ticks")
+	}
+	// Same tick again: no new sample, so the feed must decline.
+	if _, ok := feed(); ok {
+		t.Fatal("feed re-served an already-evaluated tick")
+	}
+	s.SampleOnce()
+	if _, ok := feed(); !ok {
+		t.Fatal("feed stale after a new tick")
+	}
+}
+
+func TestEngineLiveFeedRemediates(t *testing.T) {
+	e := newTelemetryEnv(t, 1)
+	s := e.srv.Sampler()
+	eng := NewEngine(e.srv, time.Millisecond)
+	eng.SetFeed(TelemetryFeed(s))
+	eng.AddRule("grow-handlers",
+		HandlerSaturated(0.3, time.Millisecond),
+		AddHandlerStreams{N: 8, Max: 16},
+		0)
+
+	// Without a fresh telemetry tick the engine must not act.
+	if d := eng.Tick(); len(d) != 0 {
+		t.Fatalf("decisions without telemetry = %+v", d)
+	}
+
+	e.burst(t, 16)
+	s.SampleOnce()
+	decisions := eng.Tick()
+	if len(decisions) != 1 {
+		t.Fatalf("decisions = %+v", decisions)
+	}
+	d := decisions[0]
+	if d.Rule != "grow-handlers" || d.Err != nil {
+		t.Fatalf("decision = %+v", d)
+	}
+	if d.Snapshot.HandlerFraction <= 0.3 {
+		t.Fatalf("snapshot fraction = %f", d.Snapshot.HandlerFraction)
+	}
+	if d.Snapshot.Entity != e.srv.Addr() {
+		t.Fatalf("snapshot entity = %q", d.Snapshot.Entity)
+	}
+	if e.srv.HandlerStreams() != 9 {
+		t.Fatalf("handler streams = %d, want 9", e.srv.HandlerStreams())
+	}
+	// The next sampler tick must see the remediation in the gauge.
+	sm := s.SampleOnce()
+	if sm.HandlerStreams != 9 {
+		t.Fatalf("telemetry handler_streams = %d, want 9", sm.HandlerStreams)
+	}
+}
+
+func TestTelemetryFeedPoolAndKnobFields(t *testing.T) {
+	e := newTelemetryEnv(t, 2)
+	s := e.srv.Sampler()
+	e.burst(t, 4)
+	s.SampleOnce()
+	s.SampleOnce()
+	feed := TelemetryFeed(s)
+	snap, ok := feed()
+	if !ok {
+		t.Fatal("feed stale")
+	}
+	if snap.HandlerStreams != 2 {
+		t.Fatalf("HandlerStreams = %d, want 2", snap.HandlerStreams)
+	}
+	if snap.OFIMaxEvents != e.srv.OFIMaxEvents() {
+		t.Fatalf("OFIMaxEvents = %d, want %d", snap.OFIMaxEvents, e.srv.OFIMaxEvents())
+	}
+	if snap.WindowTargetExec <= 0 {
+		t.Fatal("WindowTargetExec empty despite burst")
+	}
+}

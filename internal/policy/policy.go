@@ -174,12 +174,21 @@ type Decision struct {
 	Snapshot Snapshot
 }
 
+// SnapshotFeed supplies monitoring snapshots from an external source —
+// the live-feed mode. When installed via SetFeed, the engine evaluates
+// rules against the feed's snapshots instead of probing the instance
+// itself, so one telemetry sampler serves both scrapers and policy.
+// ok=false means the feed has no fresh data yet; the engine skips that
+// tick rather than acting on stale numbers.
+type SnapshotFeed func() (Snapshot, bool)
+
 // Engine monitors one instance and applies rules.
 type Engine struct {
 	inst     *margo.Instance
 	interval time.Duration
 
 	mu        sync.Mutex
+	feed      SnapshotFeed
 	rules     []*Rule
 	decisions []Decision
 
@@ -207,6 +216,15 @@ func (e *Engine) AddRule(name string, when Condition, do Action, cooldown time.D
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.rules = append(e.rules, &Rule{Name: name, When: when, Do: do, Cooldown: cooldown})
+}
+
+// SetFeed installs (or clears, with nil) a live snapshot feed. With a
+// feed installed, Tick evaluates rules against the feed's snapshots
+// instead of probing the instance directly.
+func (e *Engine) SetFeed(f SnapshotFeed) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.feed = f
 }
 
 // Decisions returns the audit log of applied (or failed) remediations.
@@ -289,11 +307,20 @@ func (e *Engine) resetWindow() {
 // action per rule whose cooldown has passed. It returns the decisions
 // made this tick.
 func (e *Engine) Tick() []Decision {
-	snap := e.Sample()
-	var made []Decision
 	e.mu.Lock()
+	feed := e.feed
 	rules := e.rules
 	e.mu.Unlock()
+	var snap Snapshot
+	if feed != nil {
+		var ok bool
+		if snap, ok = feed(); !ok {
+			return nil // no fresh telemetry yet; don't act on stale data
+		}
+	} else {
+		snap = e.Sample()
+	}
+	var made []Decision
 	for _, r := range rules {
 		if r.Cooldown > 0 && !r.lastFired.IsZero() && time.Since(r.lastFired) < r.Cooldown {
 			continue

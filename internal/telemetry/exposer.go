@@ -1,0 +1,283 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"symbiosys/internal/core"
+)
+
+// metricPrefix namespaces every exported family.
+const metricPrefix = "symbiosys_"
+
+// Exposer aggregates per-instance samplers into one HTTP surface:
+// Prometheus text exposition on GET /metrics and a JSON snapshot
+// (samples, series windows, callpath stats) on GET /snapshot.
+type Exposer struct {
+	mu       sync.Mutex
+	samplers []*Sampler
+	ln       net.Listener
+	srv      *http.Server
+}
+
+// NewExposer returns an empty exposer; register samplers then Serve.
+func NewExposer() *Exposer { return &Exposer{} }
+
+// Register adds a sampler to the scrape surface.
+func (e *Exposer) Register(s *Sampler) {
+	e.mu.Lock()
+	e.samplers = append(e.samplers, s)
+	e.mu.Unlock()
+}
+
+// Samplers returns the registered samplers.
+func (e *Exposer) Samplers() []*Sampler {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Sampler, len(e.samplers))
+	copy(out, e.samplers)
+	return out
+}
+
+// Handler returns the HTTP mux serving /metrics and /snapshot.
+func (e *Exposer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		e.WriteMetrics(w)
+	})
+	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		e.WriteSnapshot(w)
+	})
+	return mux
+}
+
+// Serve starts listening on addr (":0" picks a free port) and serves
+// the exposition endpoints until Close. It returns the bound address.
+func (e *Exposer) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: e.Handler()}
+	e.mu.Lock()
+	e.ln, e.srv = ln, srv
+	e.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the HTTP listener (no-op if Serve was never called).
+func (e *Exposer) Close() error {
+	e.mu.Lock()
+	srv := e.srv
+	e.srv, e.ln = nil, nil
+	e.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+// family accumulates the samples of one metric family across instances.
+type family struct {
+	kind Kind
+	rows []string // fully rendered sample lines
+}
+
+// WriteMetrics renders the Prometheus text exposition: one family per
+// scalar series (latest value per instance) plus the per-callpath
+// latency histogram family.
+func (e *Exposer) WriteMetrics(w io.Writer) {
+	fams := make(map[string]*family)
+	var order []string
+	add := func(name string, kind Kind, line string) {
+		f := fams[name]
+		if f == nil {
+			f = &family{kind: kind}
+			fams[name] = f
+			order = append(order, name)
+		}
+		f.rows = append(f.rows, line)
+	}
+
+	var hist []string
+	for _, s := range e.Samplers() {
+		inst := s.Source().Addr()
+		for _, name := range s.SeriesNames() {
+			kind, pts, ok := s.SeriesSnapshot(name)
+			if !ok || len(pts) == 0 {
+				continue
+			}
+			last := pts[len(pts)-1]
+			fam, labels := familyFor(name, inst)
+			add(fam, kind, fmt.Sprintf("%s{%s} %s", fam, labels, formatFloat(last.Value)))
+		}
+		hist = append(hist, renderCallpathHistograms(inst, s.Callpaths())...)
+	}
+
+	sort.Strings(order)
+	for _, name := range order {
+		f := fams[name]
+		fmt.Fprintf(w, "# HELP %s SYMBIOSYS live telemetry series %s.\n", name, strings.TrimPrefix(name, metricPrefix))
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, f.kind)
+		sort.Strings(f.rows)
+		for _, r := range f.rows {
+			fmt.Fprintln(w, r)
+		}
+	}
+	if len(hist) > 0 {
+		const hf = metricPrefix + "callpath_latency_seconds"
+		fmt.Fprintf(w, "# HELP %s Per-callpath RPC latency distribution (two-per-octave buckets).\n", hf)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", hf)
+		for _, r := range hist {
+			fmt.Fprintln(w, r)
+		}
+	}
+}
+
+// familyFor maps a series name to its metric family and label set.
+// "pool/<name>/<stat>" becomes symbiosys_pool_<stat>{pool="<name>"},
+// "pvar/<name>" becomes symbiosys_pvar_<name>, everything else is
+// symbiosys_<series>.
+func familyFor(series, instance string) (fam, labels string) {
+	labels = `instance="` + escapeLabel(instance) + `"`
+	switch {
+	case strings.HasPrefix(series, "pool/"):
+		rest := strings.TrimPrefix(series, "pool/")
+		if i := strings.LastIndexByte(rest, '/'); i >= 0 {
+			pool, stat := rest[:i], rest[i+1:]
+			return metricPrefix + "pool_" + sanitizeName(stat),
+				labels + `,pool="` + escapeLabel(pool) + `"`
+		}
+	case strings.HasPrefix(series, "pvar/"):
+		return metricPrefix + "pvar_" + sanitizeName(strings.TrimPrefix(series, "pvar/")), labels
+	}
+	return metricPrefix + sanitizeName(series), labels
+}
+
+// renderCallpathHistograms renders one Prometheus histogram per
+// callpath: cumulative le buckets in seconds, then +Inf, _sum, _count.
+func renderCallpathHistograms(instance string, cps []CallpathStat) []string {
+	const hf = metricPrefix + "callpath_latency_seconds"
+	var out []string
+	for _, cp := range cps {
+		if cp.Stats.Count == 0 {
+			continue
+		}
+		base := fmt.Sprintf(`instance="%s",side="%s",path="%s",peer="%s"`,
+			escapeLabel(instance), escapeLabel(cp.Side), escapeLabel(cp.Path), escapeLabel(cp.Peer))
+		var cum uint64
+		for i, c := range cp.Stats.Hist {
+			cum += uint64(c)
+			if i == core.HistBuckets-1 {
+				break // rendered as +Inf below
+			}
+			if c == 0 && i != core.HistBuckets-2 {
+				// Sparse rendering: skip empty interior buckets (the
+				// cumulative count is unchanged); always keep the last
+				// finite bucket so the +Inf step is explicit.
+				continue
+			}
+			_, hi := core.HistBucketBounds(i)
+			out = append(out, fmt.Sprintf(`%s_bucket{%s,le="%s"} %d`,
+				hf, base, formatFloat(float64(hi)/1e9), cum))
+		}
+		out = append(out, fmt.Sprintf(`%s_bucket{%s,le="+Inf"} %d`, hf, base, cp.Stats.Count))
+		out = append(out, fmt.Sprintf(`%s_sum{%s} %s`, hf, base, formatFloat(float64(cp.Stats.CumNanos)/1e9)))
+		out = append(out, fmt.Sprintf(`%s_count{%s} %d`, hf, base, cp.Stats.Count))
+	}
+	return out
+}
+
+// SeriesDump is one series' window in the JSON snapshot.
+type SeriesDump struct {
+	Kind   string  `json:"kind"`
+	Points []Point `json:"points"`
+}
+
+// InstanceSnapshot is one instance's slice of the JSON snapshot.
+type InstanceSnapshot struct {
+	Addr      string                `json:"addr"`
+	Interval  time.Duration         `json:"interval_nanos"`
+	Ticks     uint64                `json:"ticks"`
+	Last      Sample                `json:"last"`
+	Series    map[string]SeriesDump `json:"series"`
+	Callpaths []CallpathStat        `json:"callpaths,omitempty"`
+}
+
+// Snapshot is the GET /snapshot payload.
+type Snapshot struct {
+	UnixNanos int64              `json:"unix_nanos"`
+	Instances []InstanceSnapshot `json:"instances"`
+}
+
+// BuildSnapshot assembles the JSON snapshot view.
+func (e *Exposer) BuildSnapshot() Snapshot {
+	snap := Snapshot{UnixNanos: time.Now().UnixNano()}
+	for _, s := range e.Samplers() {
+		inst := InstanceSnapshot{
+			Addr:     s.Source().Addr(),
+			Interval: s.Interval(),
+			Ticks:    s.Ticks(),
+			Series:   make(map[string]SeriesDump),
+		}
+		inst.Last, _ = s.Last()
+		for _, name := range s.SeriesNames() {
+			if kind, pts, ok := s.SeriesSnapshot(name); ok {
+				inst.Series[name] = SeriesDump{Kind: kind.String(), Points: pts}
+			}
+		}
+		inst.Callpaths = s.Callpaths()
+		snap.Instances = append(snap.Instances, inst)
+	}
+	return snap
+}
+
+// WriteSnapshot writes the JSON snapshot.
+func (e *Exposer) WriteSnapshot(w io.Writer) {
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(e.BuildSnapshot())
+}
+
+// sanitizeName coerces a series name into Prometheus metric-name
+// characters.
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

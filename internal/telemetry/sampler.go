@@ -1,0 +1,305 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"symbiosys/internal/core"
+)
+
+// PVarValue is one performance variable read through the instance's
+// PVAR session at sampling time (the paper's Figure 3 handshake, driven
+// on a timer instead of per-request).
+type PVarValue struct {
+	Name string `json:"name"`
+	// Counter marks monotone variables; the rest are exported as gauges.
+	Counter bool   `json:"counter,omitempty"`
+	Value   uint64 `json:"value"`
+}
+
+// PoolStat is one Argobots pool's occupancy at sampling time.
+type PoolStat struct {
+	Name     string `json:"name"`
+	Runnable int64  `json:"runnable"`
+	Blocked  int64  `json:"blocked"`
+	Created  uint64 `json:"created"`
+	Executed uint64 `json:"executed"`
+}
+
+// Sample is one tick's snapshot of an instance: PVARs, pool occupancy,
+// na-layer completion-queue state, collector health, and runtime stats.
+// Cumulative counters stay cumulative here; the sampler's series derive
+// deltas and rates.
+type Sample struct {
+	UnixNanos int64 `json:"unix_nanos"`
+
+	PVars []PVarValue `json:"pvars,omitempty"`
+	Pools []PoolStat  `json:"pools,omitempty"`
+
+	// na completion-queue state (the t11→t12 backlog of the paper).
+	CQDepth      int    `json:"cq_depth"`
+	EventsRead   uint64 `json:"events_read"`
+	EventsPosted uint64 `json:"events_posted"`
+	CQOverflows  uint64 `json:"cq_overflows"`
+
+	// Collector health.
+	TraceLen     int    `json:"trace_len"`
+	TraceDropped uint64 `json:"trace_dropped"`
+	SinkErrors   uint64 `json:"sink_errors"`
+	OriginCalls  uint64 `json:"origin_calls"`
+	TargetCalls  uint64 `json:"target_calls"`
+
+	// Cumulative handler/total nanos on the target side; the policy
+	// engine's live feed derives windowed handler fractions from their
+	// series deltas.
+	TargetHandlerNanos uint64 `json:"target_handler_nanos"`
+	TargetTotalNanos   uint64 `json:"target_total_nanos"`
+
+	// Instance tuning knobs, exported so remediations show up in the
+	// series the moment a policy applies them.
+	OFIMaxEvents   int   `json:"ofi_max_events"`
+	HandlerStreams int   `json:"handler_streams"`
+	RPCsInFlight   int64 `json:"rpcs_in_flight"`
+
+	// Runtime stats (from core.SysSampler) plus its refresh counter, so
+	// the cost of system sampling is itself observable.
+	HeapBytes    uint64 `json:"heap_bytes"`
+	Goroutines   int    `json:"goroutines"`
+	SysRefreshes uint64 `json:"sys_refreshes"`
+}
+
+// CallpathStat is one callpath's accumulated latency statistics,
+// fetched on demand at scrape time (histograms are not ring-buffered
+// per tick; CallStats is already cumulative and merge-friendly).
+type CallpathStat struct {
+	Side  string         `json:"side"` // "origin" or "target"
+	Path  string         `json:"path"` // human-readable breadcrumb
+	Peer  string         `json:"peer"`
+	Stats core.CallStats `json:"stats"`
+}
+
+// Source is the sampling surface an observed instance exposes.
+// margo.Instance implements it; tests substitute fakes.
+type Source interface {
+	// Addr identifies the instance (its fabric address).
+	Addr() string
+	// TelemetrySample snapshots the instance's live state.
+	TelemetrySample() Sample
+	// CallpathStats returns the per-callpath latency statistics.
+	CallpathStats() []CallpathStat
+}
+
+// Options configures a Sampler.
+type Options struct {
+	// Interval is the sampling tick. Default 100ms.
+	Interval time.Duration
+	// WindowPoints bounds each series ring. Default 600 (one minute of
+	// history at the default tick).
+	WindowPoints int
+}
+
+func (o *Options) fillDefaults() {
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.WindowPoints <= 0 {
+		o.WindowPoints = 600
+	}
+}
+
+// Sampler periodically snapshots one Source into named time-series
+// rings. It is safe for concurrent use: the tick goroutine writes under
+// the same mutex scrapers read under.
+type Sampler struct {
+	src  Source
+	opts Options
+
+	mu     sync.Mutex
+	series map[string]*Series
+	order  []string // insertion order, for stable exposition
+	last   Sample
+	ticks  uint64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewSampler builds a sampler over src. Call Start to begin ticking, or
+// SampleOnce to drive it manually (tests, symmon-style pull models).
+func NewSampler(src Source, opts Options) *Sampler {
+	opts.fillDefaults()
+	return &Sampler{
+		src:    src,
+		opts:   opts,
+		series: make(map[string]*Series),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Source returns the observed instance.
+func (s *Sampler) Source() Source { return s.src }
+
+// Interval reports the configured tick.
+func (s *Sampler) Interval() time.Duration { return s.opts.Interval }
+
+// Start launches the periodic tick goroutine. Safe to call once.
+func (s *Sampler) Start() {
+	s.startOnce.Do(func() {
+		go func() {
+			defer close(s.done)
+			t := time.NewTicker(s.opts.Interval)
+			defer t.Stop()
+			s.SampleOnce()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case <-t.C:
+					s.SampleOnce()
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the tick goroutine and waits for it to exit. Safe to call
+// without Start and safe to call twice.
+func (s *Sampler) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.startOnce.Do(func() { close(s.done) }) // never started: unblock Stop
+	<-s.done
+}
+
+// SampleOnce takes one snapshot and folds it into the series rings.
+func (s *Sampler) SampleOnce() Sample {
+	sm := s.src.TelemetrySample()
+	if sm.UnixNanos == 0 {
+		sm.UnixNanos = time.Now().UnixNano()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.last = sm
+	s.ticks++
+	t := sm.UnixNanos
+	s.push(t, "cq_depth", Gauge, float64(sm.CQDepth))
+	s.push(t, "events_read", Counter, float64(sm.EventsRead))
+	s.push(t, "events_posted", Counter, float64(sm.EventsPosted))
+	s.push(t, "cq_overflows", Counter, float64(sm.CQOverflows))
+	s.push(t, "trace_len", Gauge, float64(sm.TraceLen))
+	s.push(t, "trace_dropped", Counter, float64(sm.TraceDropped))
+	s.push(t, "sink_errors", Counter, float64(sm.SinkErrors))
+	s.push(t, "origin_calls", Counter, float64(sm.OriginCalls))
+	s.push(t, "target_calls", Counter, float64(sm.TargetCalls))
+	s.push(t, "target_handler_nanos", Counter, float64(sm.TargetHandlerNanos))
+	s.push(t, "target_total_nanos", Counter, float64(sm.TargetTotalNanos))
+	s.push(t, "ofi_max_events", Gauge, float64(sm.OFIMaxEvents))
+	s.push(t, "handler_streams", Gauge, float64(sm.HandlerStreams))
+	s.push(t, "rpcs_in_flight", Gauge, float64(sm.RPCsInFlight))
+	s.push(t, "heap_bytes", Gauge, float64(sm.HeapBytes))
+	s.push(t, "goroutines", Gauge, float64(sm.Goroutines))
+	s.push(t, "sys_refreshes", Counter, float64(sm.SysRefreshes))
+	for _, pv := range sm.PVars {
+		k := Gauge
+		if pv.Counter {
+			k = Counter
+		}
+		s.push(t, "pvar/"+pv.Name, k, float64(pv.Value))
+	}
+	for _, p := range sm.Pools {
+		s.push(t, "pool/"+p.Name+"/runnable", Gauge, float64(p.Runnable))
+		s.push(t, "pool/"+p.Name+"/blocked", Gauge, float64(p.Blocked))
+		s.push(t, "pool/"+p.Name+"/created", Counter, float64(p.Created))
+		s.push(t, "pool/"+p.Name+"/executed", Counter, float64(p.Executed))
+	}
+	return sm
+}
+
+// push must run with s.mu held.
+func (s *Sampler) push(t int64, name string, kind Kind, v float64) {
+	sr := s.series[name]
+	if sr == nil {
+		sr = NewSeries(kind, s.opts.WindowPoints)
+		s.series[name] = sr
+		s.order = append(s.order, name)
+	}
+	sr.Push(t, v)
+}
+
+// Ticks reports how many samples have been taken.
+func (s *Sampler) Ticks() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ticks
+}
+
+// Last returns the most recent sample, if one has been taken.
+func (s *Sampler) Last() (Sample, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last, s.ticks > 0
+}
+
+// SeriesNames returns the known series names in first-seen order.
+func (s *Sampler) SeriesNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// SeriesSnapshot returns an immutable copy of one series' window, with
+// its kind, or ok=false if the series does not exist yet.
+func (s *Sampler) SeriesSnapshot(name string) (kind Kind, pts []Point, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr := s.series[name]
+	if sr == nil {
+		return 0, nil, false
+	}
+	return sr.kind, sr.Points(), true
+}
+
+// Delta returns the newest per-tick increment of a series (zero if the
+// series is unknown or has fewer than two points).
+func (s *Sampler) Delta(name string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sr := s.series[name]; sr != nil {
+		return sr.Delta()
+	}
+	return 0
+}
+
+// Rate returns the newest per-second rate of a series.
+func (s *Sampler) Rate(name string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sr := s.series[name]; sr != nil {
+		return sr.Rate()
+	}
+	return 0
+}
+
+// Callpaths fetches the per-callpath latency statistics from the
+// source, sorted by cumulative time descending (dominant first).
+func (s *Sampler) Callpaths() []CallpathStat {
+	cps := s.src.CallpathStats()
+	sort.Slice(cps, func(i, j int) bool {
+		if cps[i].Stats.CumNanos != cps[j].Stats.CumNanos {
+			return cps[i].Stats.CumNanos > cps[j].Stats.CumNanos
+		}
+		if cps[i].Side != cps[j].Side {
+			return cps[i].Side < cps[j].Side
+		}
+		if cps[i].Path != cps[j].Path {
+			return cps[i].Path < cps[j].Path
+		}
+		return cps[i].Peer < cps[j].Peer
+	})
+	return cps
+}
