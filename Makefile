@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench smoke-metrics
+.PHONY: all build test race vet check bench smoke-metrics chaos-smoke
 
 all: check
 
@@ -16,15 +16,18 @@ vet:
 # Race-detector pass over the concurrency-heavy packages: the sharded
 # measurement collector, the Margo instrumentation that records into it
 # from many execution streams, the telemetry sampler/exposer that reads
-# it live, the policy engine fed by the sampler, and the fabric's
-# completion-queue accessors.
+# it live, the policy engine fed by the sampler, the fabric's
+# completion-queue accessors and fault-injection plane, and Mercury's
+# cancel-vs-response completion race.
 race:
 	$(GO) test -race ./internal/core/... ./internal/margo/... \
-		./internal/telemetry/... ./internal/policy/... ./internal/na/...
+		./internal/telemetry/... ./internal/policy/... ./internal/na/... \
+		./internal/mercury/...
 
 # check is the pre-commit gate: static analysis, race tests on the
-# measurement pipeline, then the full tier-1 build + test sweep.
-check: vet race build test
+# measurement pipeline, the fault-path smoke run, then the full tier-1
+# build + test sweep.
+check: vet race chaos-smoke build test
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
@@ -35,3 +38,10 @@ bench:
 # counters, callpath latency histograms).
 smoke-metrics:
 	$(GO) test ./internal/experiments/ -run TestSmokeMetrics -count=1 -v
+
+# chaos-smoke replays a short C2-shaped HEPnOS run under the seeded
+# 1% drop + 5ms delay fault plan and asserts the failure-path bar:
+# zero lost client operations, retries visible in the live /metrics
+# exposition, and a clean shutdown.
+chaos-smoke:
+	$(GO) test ./internal/experiments/ -run TestChaosSmoke -count=1 -v

@@ -12,6 +12,13 @@
 //	hepnos-bench -config C5 -out dumps/
 //	hepnos-bench -scale 4              # divide event counts by 4
 //	hepnos-bench -config C1 -metrics :9100   # live /metrics + /snapshot
+//	hepnos-bench -chaos                # C2 under the seeded fault plan
+//	hepnos-bench -chaos -chaos-drop 0.05 -chaos-delay 10ms -metrics :9100
+//
+// With -chaos, the run replays the configuration (default C2) under a
+// deterministic fault plan (drop/dup/delay probabilities, seeded) with
+// the margo retry policy absorbing failures, and reports goodput,
+// retry amplification, and p99 inflation against a clean baseline.
 //
 // With -metrics, every process gets a live telemetry sampler and the
 // run serves Prometheus exposition while it executes:
@@ -36,10 +43,25 @@ func main() {
 	scale := flag.Int("scale", 1, "divide per-client event counts by this factor")
 	out := flag.String("out", "", "directory to write per-process dumps into")
 	metrics := flag.String("metrics", "", "serve live /metrics + /snapshot on this address during runs (e.g. :9100)")
+	chaos := flag.Bool("chaos", false, "replay the configuration (default C2) under a fault plan with retries")
+	chaosDrop := flag.Float64("chaos-drop", 0.01, "per-message drop probability of the fault plan")
+	chaosDup := flag.Float64("chaos-dup", 0, "per-message duplication probability")
+	chaosDelayProb := flag.Float64("chaos-delay-prob", 0.05, "probability a message draws the injected delay")
+	chaosDelay := flag.Duration("chaos-delay", 5*time.Millisecond, "injected per-message delay")
+	chaosSeed := flag.Uint64("chaos-seed", 42, "seed of the deterministic fault schedule")
 	flag.Parse()
 	metricsAddr = *metrics
 
 	switch {
+	case *chaos:
+		name := *configName
+		if name == "" {
+			name = "C2"
+		}
+		runChaos(lookup(name), *scale, chaosKnobs{
+			drop: *chaosDrop, dup: *chaosDup,
+			delayProb: *chaosDelayProb, delay: *chaosDelay, seed: *chaosSeed,
+		})
 	case *configName != "":
 		runOne(*configName, *scale, *out)
 	case *figure != 0:
@@ -122,6 +144,55 @@ func report(res *experiments.HEPnOSResult) {
 				row.Percentile(95).Round(time.Microsecond),
 				row.Percentile(99).Round(time.Microsecond))
 		}
+	}
+}
+
+// chaosKnobs carries the -chaos-* flag values.
+type chaosKnobs struct {
+	drop, dup, delayProb float64
+	delay                time.Duration
+	seed                 uint64
+}
+
+func runChaos(base experiments.HEPnOSConfig, scale int, k chaosKnobs) {
+	if metricsAddr != "" {
+		base.MetricsAddr = metricsAddr
+	}
+	res, err := experiments.RunChaos(experiments.ChaosConfig{
+		Base:         base,
+		DropProb:     k.drop,
+		DupProb:      k.dup,
+		DelayProb:    k.delayProb,
+		Delay:        k.delay,
+		Seed:         k.seed,
+		Scale:        scale,
+		CompareClean: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hepnos-bench:", err)
+		os.Exit(1)
+	}
+	f := res.Faulted
+	fmt.Printf("\n=== chaos %s (drop %.2f%%, dup %.2f%%, delay %v@%.0f%%, seed %d)\n",
+		base.Name, 100*k.drop, 100*k.dup, k.delay, 100*k.delayProb, k.seed)
+	fmt.Printf("  injected: drops %d  dups %d  delays %d  refusals %d\n",
+		f.Faults.Drops, f.Faults.Dups, f.Faults.Delays, f.Faults.Refusals)
+	fmt.Printf("  client resilience: retries %d  timeouts %d  exhausted %d  cancels %d\n",
+		f.Retries, f.Timeouts, f.Exhausted, f.Cancels)
+	fmt.Printf("  operations: %d/%d stored, %d lost\n",
+		f.EventsStored, res.ExpectedEvents, res.LostEvents)
+	fmt.Printf("  goodput %.0f events/s  retry amplification %.3fx\n",
+		res.GoodputEventsPerSec, res.RetryAmplification)
+	if res.Clean != nil {
+		fmt.Printf("  wall time: clean %v -> chaos %v\n",
+			res.Clean.WallTime.Round(time.Millisecond), f.WallTime.Round(time.Millisecond))
+		fmt.Printf("  put_packed origin p99: clean %v -> chaos %v (%.2fx inflation)\n",
+			res.P99Clean.Round(time.Microsecond), res.P99Chaos.Round(time.Microsecond),
+			res.P99Inflation())
+	}
+	if res.LostEvents != 0 {
+		fmt.Fprintln(os.Stderr, "hepnos-bench: chaos run lost client operations")
+		os.Exit(1)
 	}
 }
 

@@ -102,8 +102,12 @@ type Span struct {
 	StartNanos int64
 	DurNanos   int64
 	StartOrder uint64
-	Sys        core.SysSample
-	PVars      *core.PVarSample
+	// Failed marks a span closed by an error terminal event (canceled
+	// or failed origin attempt, error response / handler panic on the
+	// target) — closed, but not a successful execution.
+	Failed bool
+	Sys    core.SysSample
+	PVars  *core.PVarSample
 }
 
 // Spans reconstructs the call intervals of one request. Prefer
@@ -162,6 +166,7 @@ func SpansOf(requestID uint64, evs []core.Event) []Span {
 				StartNanos: start.Timestamp,
 				DurNanos:   dur,
 				StartOrder: start.Order,
+				Failed:     e.Failed,
 				Sys:        e.Sys,
 				PVars:      e.PVars,
 			})

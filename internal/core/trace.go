@@ -79,7 +79,12 @@ type Event struct {
 	RPCName    string      `json:"rpc"`
 	Breadcrumb uint64      `json:"breadcrumb"`
 	Duration   int64       `json:"dur_ns,omitempty"` // span length for end events
-	Sys        SysSample   `json:"sys"`
+	// Failed marks a terminal event whose attempt ended in an error:
+	// a canceled/failed origin attempt, or a target span closed by a
+	// handler panic or error response. Stitchers use it to close spans
+	// without treating them as successful executions.
+	Failed bool      `json:"failed,omitempty"`
+	Sys    SysSample `json:"sys"`
 	PVars      *PVarSample `json:"pvars,omitempty"`
 
 	// Components carries the per-interval breakdown on end events

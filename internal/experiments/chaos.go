@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"time"
+
+	"symbiosys/internal/core"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/na"
+	"symbiosys/internal/services/sdskv"
+)
+
+// ChaosConfig shapes one fault-campaign run: the C2 HEPnOS workload
+// replayed under a seeded fault plan with the margo retry policy
+// absorbing the injected failures.
+type ChaosConfig struct {
+	// Base is the service configuration to stress. Default C2.
+	Base HEPnOSConfig
+
+	// Fault plan knobs, applied as the plan's default rule so every link
+	// of the deployment takes them. Defaults: 1% drop, 5ms delay on 5% of
+	// messages, no duplication.
+	DropProb  float64
+	DupProb   float64
+	DelayProb float64
+	Delay     time.Duration
+	// Seed drives the plan's deterministic fault schedule. Default 42.
+	Seed uint64
+
+	// Retry is the client-side policy absorbing the faults. Default
+	// margo.DefaultRetryPolicy().
+	Retry *margo.RetryPolicy
+
+	// Scale divides EventsPerClient (floor 64) so smoke tests finish
+	// quickly; 1 (or 0) runs the full workload.
+	Scale int
+
+	// CompareClean additionally runs the identical workload without the
+	// fault plan, for the p99-inflation baseline.
+	CompareClean bool
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Base.Name == "" {
+		c.Base = C2
+	}
+	if c.DropProb == 0 {
+		c.DropProb = 0.01
+	}
+	if c.DelayProb == 0 {
+		c.DelayProb = 0.05
+	}
+	if c.Delay == 0 {
+		c.Delay = 5 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Retry == nil {
+		pol := margo.DefaultRetryPolicy()
+		c.Retry = &pol
+	}
+	if c.Scale < 1 {
+		c.Scale = 1
+	}
+	return c
+}
+
+// Plan materializes the config's fault plan.
+func (c ChaosConfig) Plan() *na.FaultPlan {
+	p := na.NewFaultPlan(c.Seed)
+	p.Default = na.FaultRule{
+		DropProb:  c.DropProb,
+		DupProb:   c.DupProb,
+		DelayProb: c.DelayProb,
+		Delay:     c.Delay,
+	}
+	return p
+}
+
+// ChaosResult reports how the workload behaved under the fault plan.
+type ChaosResult struct {
+	Config  ChaosConfig
+	Faulted *HEPnOSResult
+	// Clean is the no-fault baseline run (nil unless CompareClean).
+	Clean *HEPnOSResult
+
+	// ExpectedEvents is what the workload should have stored;
+	// LostEvents is the shortfall (the acceptance bar is zero).
+	ExpectedEvents uint64
+	LostEvents     int64
+
+	// RetryAmplification is attempts per logical request: total origin
+	// attempts divided by first attempts, 1.0 when nothing retried.
+	RetryAmplification float64
+
+	// GoodputEventsPerSec is successfully stored events over wall time
+	// under faults.
+	GoodputEventsPerSec float64
+
+	// P99Chaos (and P99Clean when CompareClean) are the put_packed
+	// origin-side 99th percentiles; their ratio is the p99 inflation.
+	P99Chaos time.Duration
+	P99Clean time.Duration
+}
+
+// P99Inflation returns P99Chaos/P99Clean (0 without a clean baseline).
+func (r *ChaosResult) P99Inflation() float64 {
+	if r.P99Clean <= 0 {
+		return 0
+	}
+	return float64(r.P99Chaos) / float64(r.P99Clean)
+}
+
+// putPackedOriginP99 merges the put_packed origin stats across peers
+// and returns the 99th percentile latency. Retried attempts each record
+// their own profile entry, so the distribution includes failed tries.
+func putPackedOriginP99(res *HEPnOSResult) time.Duration {
+	if res.Profile == nil {
+		return 0
+	}
+	bc := core.Breadcrumb(0).Push(sdskv.RPCPutPacked)
+	var agg core.CallStats
+	for key, st := range res.Profile.Origin {
+		if key.BC == bc {
+			agg.Merge(st)
+		}
+	}
+	return agg.Percentile(99)
+}
+
+// RunChaos replays the configured HEPnOS workload under the fault plan
+// (and optionally clean) and derives the campaign report.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	cfg = cfg.withDefaults()
+
+	base := cfg.Base.withDefaults()
+	if cfg.Scale > 1 {
+		base.EventsPerClient = maxInt(base.EventsPerClient/cfg.Scale, 64)
+	}
+
+	res := &ChaosResult{Config: cfg}
+	res.ExpectedEvents = uint64(base.TotalClients) * uint64(base.EventsPerClient)
+
+	if cfg.CompareClean {
+		clean, err := RunHEPnOS(base)
+		if err != nil {
+			return nil, err
+		}
+		res.Clean = clean
+		res.P99Clean = putPackedOriginP99(clean)
+	}
+
+	faulted := base
+	faulted.Faults = cfg.Plan()
+	faulted.Retry = cfg.Retry
+	fr, err := RunHEPnOS(faulted)
+	if err != nil {
+		return nil, err
+	}
+	res.Faulted = fr
+	res.LostEvents = int64(res.ExpectedEvents) - int64(fr.EventsStored)
+	res.P99Chaos = putPackedOriginP99(fr)
+	if fr.WallTime > 0 {
+		res.GoodputEventsPerSec = float64(fr.EventsStored) / fr.WallTime.Seconds()
+	}
+
+	// Every attempt (first or retried) records one origin profile entry
+	// under the put_packed breadcrumb; first attempts are attempts minus
+	// recorded retries.
+	bc := core.Breadcrumb(0).Push(sdskv.RPCPutPacked)
+	var attempts uint64
+	if fr.Profile != nil {
+		for key, st := range fr.Profile.Origin {
+			if key.BC == bc {
+				attempts += st.Count
+			}
+		}
+	}
+	if first := attempts - fr.Retries; attempts > 0 && first > 0 && fr.Retries < attempts {
+		res.RetryAmplification = float64(attempts) / float64(first)
+	} else if attempts > 0 {
+		res.RetryAmplification = 1
+	}
+	return res, nil
+}

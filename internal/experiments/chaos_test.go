@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestChaosSmoke is the `make chaos-smoke` target: a short C2-shaped
+// run under the seeded 1% drop + 5ms delay plan. It asserts the
+// acceptance bar of the failure-path hardening — zero lost client
+// operations (every injected loss absorbed by a retry), retries
+// actually happening and visible in the live /metrics exposition, and
+// a clean shutdown.
+func TestChaosSmoke(t *testing.T) {
+	base := scaled(C2, 16)
+	// Smaller batches mean more request/response messages, so the 1%
+	// plan reliably bites even in a short run.
+	base.BatchSize = 4
+	base.MetricsAddr = freePort(t)
+	base.MetricsInterval = 10 * time.Millisecond
+
+	cfg := ChaosConfig{
+		Base:      base,
+		DropProb:  0.01,
+		DelayProb: 0.05,
+		Delay:     5 * time.Millisecond,
+		Seed:      42,
+	}
+
+	type outcome struct {
+		res *ChaosResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := RunChaos(cfg)
+		done <- outcome{res, err}
+	}()
+
+	// Scrape while the workload runs: the resilience families must be
+	// part of the live exposition, not only the end-of-run report.
+	var body string
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := scrape(base.MetricsAddr); err == nil {
+			body = b
+			if strings.Contains(b, "symbiosys_rpc_retries_total") &&
+				strings.Contains(b, "symbiosys_fault_drops_total") {
+				break
+			}
+		}
+		select {
+		case out := <-done:
+			if out.err != nil {
+				t.Fatal(out.err)
+			}
+			done <- out
+			deadline = time.Now() // endpoint is gone; judge the last scrape
+		default:
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, want := range []string{
+		"symbiosys_rpc_retries_total",
+		"symbiosys_rpc_timeouts_total",
+		"symbiosys_fault_drops_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("live exposition missing %q", want)
+		}
+	}
+
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	res := out.res
+
+	if res.LostEvents != 0 {
+		t.Fatalf("lost %d of %d client operations under the fault plan",
+			res.LostEvents, res.ExpectedEvents)
+	}
+	if res.Faulted.Faults.Drops == 0 {
+		t.Fatal("fault plan injected no drops; smoke run has no teeth (seed/workload changed?)")
+	}
+	if res.Faulted.Retries == 0 {
+		t.Fatalf("injected %d drops but recorded no retries", res.Faulted.Faults.Drops)
+	}
+	if res.Faulted.Exhausted != 0 {
+		t.Fatalf("%d forwards exhausted their retries at 1%% drop", res.Faulted.Exhausted)
+	}
+	if res.RetryAmplification <= 1 {
+		t.Errorf("retry amplification = %v, want > 1 with retries recorded", res.RetryAmplification)
+	}
+	if res.GoodputEventsPerSec <= 0 {
+		t.Errorf("goodput = %v events/s", res.GoodputEventsPerSec)
+	}
+	if res.P99Chaos <= 0 {
+		t.Errorf("no chaos p99 recorded")
+	}
+}
+
+// TestChaosCompareClean exercises the clean-baseline path on a tiny
+// workload: both runs complete, and the p99 inflation is computable.
+func TestChaosCompareClean(t *testing.T) {
+	base := scaled(C2, 32)
+	base.TotalClients = 2
+	base.ClientsPerNode = 2
+	base.BatchSize = 8
+
+	res, err := RunChaos(ChaosConfig{
+		Base:         base,
+		DropProb:     0.02,
+		DelayProb:    0.2,
+		Delay:        5 * time.Millisecond,
+		Seed:         7,
+		CompareClean: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clean == nil {
+		t.Fatal("CompareClean did not produce a baseline run")
+	}
+	if res.Clean.Retries != 0 || res.Clean.Faults.Drops != 0 {
+		t.Fatalf("clean baseline saw faults: %+v retries=%d", res.Clean.Faults, res.Clean.Retries)
+	}
+	if res.LostEvents != 0 {
+		t.Fatalf("lost %d events", res.LostEvents)
+	}
+	if res.P99Clean <= 0 || res.P99Chaos <= 0 {
+		t.Fatalf("p99s not recorded: clean=%v chaos=%v", res.P99Clean, res.P99Chaos)
+	}
+	if res.P99Inflation() <= 0 {
+		t.Fatalf("p99 inflation = %v", res.P99Inflation())
+	}
+}

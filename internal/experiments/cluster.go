@@ -46,6 +46,9 @@ type ProcessOptions struct {
 	Stage               core.Stage
 	EagerLimit          int
 	OFIMaxEvents        int
+	// Retry installs a client-side resilience policy on the process
+	// (margo.Options.Retry); nil keeps single-attempt forwards.
+	Retry *margo.RetryPolicy
 }
 
 // Start launches a virtual process on the cluster.
@@ -63,6 +66,7 @@ func (c *Cluster) Start(opts ProcessOptions) (*margo.Instance, error) {
 		DedicatedProgressES: opts.DedicatedProgressES,
 		Stage:               opts.Stage,
 		Telemetry:           c.telemetry,
+		Retry:               opts.Retry,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: start %s/%s: %w", opts.Node, opts.Name, err)

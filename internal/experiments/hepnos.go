@@ -8,6 +8,7 @@ import (
 	"symbiosys/internal/analysis"
 	"symbiosys/internal/core"
 	"symbiosys/internal/margo"
+	"symbiosys/internal/na"
 	"symbiosys/internal/services/hepnos"
 	"symbiosys/internal/services/sdskv"
 	"symbiosys/internal/telemetry"
@@ -60,6 +61,13 @@ type HEPnOSConfig struct {
 	// 100ms sampling tick.
 	MetricsAddr     string
 	MetricsInterval time.Duration
+
+	// Faults, when non-nil, is installed on the cluster fabric before the
+	// workload starts (chaos runs). Retry, when non-nil, is applied to
+	// every client process and sdskv_put_packed is marked idempotent so
+	// timed-out puts are re-issued.
+	Faults *na.FaultPlan
+	Retry  *margo.RetryPolicy
 }
 
 func (c HEPnOSConfig) withDefaults() HEPnOSConfig {
@@ -173,6 +181,15 @@ type HEPnOSResult struct {
 	// MetricsAddr is the bound live-telemetry address when the run was
 	// started with Config.MetricsAddr set (empty otherwise).
 	MetricsAddr string
+
+	// Resilience counters summed over every process, plus the fabric's
+	// injected-fault totals — nonzero only under a fault plan / retry
+	// policy (chaos runs).
+	Retries   uint64
+	Timeouts  uint64
+	Exhausted uint64
+	Cancels   uint64
+	Faults    na.FaultStats
 }
 
 // HandlerFraction returns the target-handler share of cumulative target
@@ -229,6 +246,9 @@ func runHEPnOSInternal(cfg HEPnOSConfig) (*HEPnOSResult, []*core.ProfileDump, []
 	cfg = cfg.withDefaults()
 	cluster := NewCluster(DefaultFabric())
 	defer cluster.Shutdown()
+	if cfg.Faults != nil {
+		cluster.Fabric.SetFaultPlan(cfg.Faults)
+	}
 
 	var metricsAddr string
 	if cfg.MetricsAddr != "" {
@@ -274,9 +294,15 @@ func runHEPnOSInternal(cfg HEPnOSConfig) (*HEPnOSResult, []*core.ProfileDump, []
 			DedicatedProgressES: cfg.ClientProgressThread,
 			Stage:               cfg.Stage,
 			OFIMaxEvents:        cfg.OFIMaxEvents,
+			Retry:               cfg.Retry,
 		})
 		if err != nil {
 			return nil, nil, nil, err
+		}
+		if cfg.Retry != nil {
+			// put_packed overwrites the same keys on re-execution, so a
+			// timed-out attempt is safe to re-issue.
+			inst.MarkIdempotent(sdskv.RPCPutPacked)
 		}
 		clients = append(clients, inst)
 	}
@@ -317,6 +343,14 @@ func runHEPnOSInternal(cfg HEPnOSConfig) (*HEPnOSResult, []*core.ProfileDump, []
 	for _, s := range stored {
 		res.EventsStored += s
 	}
+	for _, inst := range cluster.Instances() {
+		rs := inst.RetryStats()
+		res.Retries += rs.Retries
+		res.Timeouts += rs.Timeouts
+		res.Exhausted += rs.Exhausted
+		res.Cancels += rs.Cancels
+	}
+	res.Faults = cluster.Fabric.FaultStats()
 	profiles, traceDumps := cluster.Collect()
 	merged := analysis.Merge(profiles)
 	traces := analysis.MergeTraces(traceDumps)

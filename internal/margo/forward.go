@@ -1,7 +1,9 @@
 package margo
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"symbiosys/internal/abt"
@@ -60,15 +62,12 @@ func (i *Instance) forward(self *abt.ULT, target, rpcName string, in, out mercur
 	}
 	stage := i.prof.Stage()
 
-	mh, err := i.hg.Create(target, rpcName)
-	if err != nil {
-		return err
-	}
-	defer mh.Destroy()
-
 	// Extend the callpath ancestry: parent breadcrumb comes from the
 	// ULT-local key when this call is made from inside a handler
 	// (paper §IV-A1), and the request ID is propagated the same way.
+	// Both are fixed before the attempt loop so every retry of this
+	// forward carries the same request ID — retried attempts stitch into
+	// one trace instead of appearing as unrelated requests.
 	var parent core.Breadcrumb
 	if v, ok := self.Local(keyBreadcrumb{}); ok {
 		parent = v.(core.Breadcrumb)
@@ -80,6 +79,77 @@ func (i *Instance) forward(self *abt.ULT, target, rpcName string, in, out mercur
 	} else if stage.Injects() {
 		reqID = i.prof.NewRequestID()
 	}
+
+	// One in-flight slot per logical forward, however many attempts it
+	// takes; the deferred decrement cannot be lost to an early return.
+	i.rpcsInFlight.Add(1)
+	defer i.rpcsInFlight.Add(-1)
+
+	rs := i.retry
+	if rs == nil {
+		err, _ := i.forwardOnce(self, target, rpcName, in, out, timeout, stage, bc, reqID)
+		return err
+	}
+
+	var deadline time.Time
+	if timeout > 0 {
+		// Under a retry policy a ForwardTimeout deadline bounds the whole
+		// attempt sequence; PerTryTimeout bounds each attempt within it.
+		deadline = time.Now().Add(timeout)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		tryTimeout := rs.pol.PerTryTimeout
+		if !deadline.IsZero() {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				i.exhaustedTotal.Add(1)
+				return exhausted(ErrDeadlineExceeded, rpcName, target, attempt, lastErr)
+			}
+			if tryTimeout <= 0 || remaining < tryTimeout {
+				tryTimeout = remaining
+			}
+		}
+		err, timedOut := i.forwardOnce(self, target, rpcName, in, out, tryTimeout, stage, bc, reqID)
+		if err == nil {
+			rs.success()
+			return nil
+		}
+		lastErr = err
+		if !i.retryable(err, timedOut, rpcName) {
+			return err
+		}
+		if attempt+1 >= rs.pol.MaxAttempts {
+			i.exhaustedTotal.Add(1)
+			return exhausted(ErrDeadlineExceeded, rpcName, target, attempt+1, lastErr)
+		}
+		if !rs.allow() {
+			i.exhaustedTotal.Add(1)
+			return exhausted(ErrRetryBudgetExhausted, rpcName, target, attempt+1, lastErr)
+		}
+		backoff := rs.backoff(attempt)
+		if !deadline.IsZero() {
+			if remaining := time.Until(deadline); backoff > remaining {
+				backoff = remaining
+			}
+		}
+		if backoff > 0 {
+			self.Sleep(backoff)
+		}
+		i.retriesTotal.Add(1)
+	}
+}
+
+// forwardOnce issues a single attempt of a forward. timedOut reports
+// that this attempt's own per-try timer (not an external CancelPosted)
+// canceled the handle — the disambiguation the retry classifier needs,
+// since both surface as mercury.ErrCanceled.
+func (i *Instance) forwardOnce(self *abt.ULT, target, rpcName string, in, out mercury.Procable, timeout time.Duration, stage core.Stage, bc core.Breadcrumb, reqID uint64) (error, bool) {
+	mh, err := i.hg.Create(target, rpcName)
+	if err != nil {
+		return err, false
+	}
+	defer mh.Destroy()
 
 	meta := mercury.Meta{}
 	if stage.Injects() {
@@ -114,23 +184,34 @@ func (i *Instance) forward(self *abt.ULT, target, rpcName string, in, out mercur
 	}
 
 	ev := abt.NewEventual()
-	i.rpcsInFlight.Add(1)
 	err = mh.Forward(in, meta, func(h *mercury.Handle, err error) {
 		// Runs at t14 in the progress ULT's Trigger pass.
 		ev.Set(forwardResult{err: err, t14: time.Now()})
 	})
 	if err != nil {
-		i.rpcsInFlight.Add(-1)
-		return err
+		return err, false
 	}
+	// timerFired disambiguates this forward's own deadline from an
+	// external cancellation: the store happens before Cancel enqueues the
+	// completion, so when the wait observes ErrCanceled caused by the
+	// timer, the flag is already visible. If a genuine response races the
+	// timer, completeForward's CAS lets exactly one of them win — a late
+	// timer then cancels an already-completed handle, which is a no-op.
+	var timerFired atomic.Bool
 	if timeout > 0 {
-		// Cancel exactly this handle on deadline; the cancel path
-		// guarantees the completion callback (and thus ev) fires.
-		timer := time.AfterFunc(timeout, mh.Cancel)
+		timer := time.AfterFunc(timeout, func() {
+			timerFired.Store(true)
+			mh.Cancel()
+		})
 		defer timer.Stop()
 	}
 	res := ev.Wait(self).(forwardResult)
-	i.rpcsInFlight.Add(-1)
+	timedOut := timerFired.Load() && errors.Is(res.err, mercury.ErrCanceled)
+	if timedOut {
+		i.timeoutsTotal.Add(1)
+	} else if errors.Is(res.err, mercury.ErrCanceled) {
+		i.cancelsTotal.Add(1)
+	}
 
 	if stage.Injects() {
 		if rm := mh.RespMeta(); rm.HasTrace {
@@ -167,12 +248,13 @@ func (i *Instance) forward(self *abt.ULT, target, rpcName string, in, out mercur
 			RPCName:    rpcName,
 			Breadcrumb: uint64(bc),
 			Duration:   int64(originExec),
+			Failed:     res.err != nil,
 			Sys:        i.sysSample(i.mainPool),
 			PVars:      pv,
 			Components: &comps,
 		})
 	}
-	return res.err
+	return res.err, timedOut
 }
 
 // BulkCreate exposes buf for one-sided transfers.

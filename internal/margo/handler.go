@@ -83,20 +83,23 @@ func (c *Context) BulkPush(remote mercury.Bulk, off int, buf []byte) error {
 // (t13): the target completion callback interval, the PVAR fusion, and
 // the callpath profile entry.
 func (c *Context) Respond(out mercury.Procable) error {
-	return c.finish(func(meta mercury.Meta, cb func(error)) error {
+	return c.finish(false, func(meta mercury.Meta, cb func(error)) error {
 		return c.mh.Respond(out, meta, cb)
 	})
 }
 
-// RespondError reports a handler failure to the origin.
+// RespondError reports a handler failure to the origin. The terminal
+// trace event carries Failed=true, so spans closed by an error response
+// (including the panic-recovery path) stitch as failed executions
+// rather than dangling or reading as successes.
 func (c *Context) RespondError(format string, args ...any) error {
 	msg := fmt.Sprintf(format, args...)
-	return c.finish(func(meta mercury.Meta, cb func(error)) error {
+	return c.finish(true, func(meta mercury.Meta, cb func(error)) error {
 		return c.mh.RespondError(msg, meta, cb)
 	})
 }
 
-func (c *Context) finish(send func(mercury.Meta, func(error)) error) error {
+func (c *Context) finish(failed bool, send func(mercury.Meta, func(error)) error) error {
 	if c.responded {
 		return fmt.Errorf("margo: double response for %s", c.rpcName)
 	}
@@ -129,14 +132,19 @@ func (c *Context) finish(send func(mercury.Meta, func(error)) error) error {
 			RPCName:    c.rpcName,
 			Breadcrumb: uint64(c.bc),
 			Duration:   int64(targetExec),
+			Failed:     failed,
 			Sys:        i.sysSample(i.handlerPool),
 		})
 	}
 
 	bc, origin, mh := c.bc, c.mh.Peer(), c.mh
 	return send(meta, func(err error) {
-		// t13: the response has been handed to the network.
-		if err != nil || !stage.Measures() {
+		// t13: the response has been handed to the network. The profile
+		// entry is recorded even when the send failed (e.g. the reverse
+		// link partitioned): the handler did execute, and dropping its
+		// measurement would hide exactly the requests a fault campaign
+		// cares about.
+		if !stage.Measures() {
 			return
 		}
 		targetCB := time.Since(t8)

@@ -16,6 +16,7 @@ package margo
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -25,6 +26,14 @@ import (
 	"symbiosys/internal/mercury/pvar"
 	"symbiosys/internal/na"
 	"symbiosys/internal/telemetry"
+)
+
+// Margo-level resilience PVARs, exported alongside the Mercury library
+// variables so the same session plumbing reaches them.
+const (
+	PVarNumRPCRetries          = "num_rpc_retries"
+	PVarNumRPCTimeouts         = "num_rpc_timeouts"
+	PVarNumRPCRetriesExhausted = "num_rpc_retries_exhausted"
 )
 
 // Mode selects client or server behaviour for an instance.
@@ -87,6 +96,13 @@ type Options struct {
 	// collector health on the configured tick. Nil (the default) means
 	// no sampler goroutine and no per-tick cost.
 	Telemetry *telemetry.Options
+
+	// Retry, when non-nil, applies client-side resilience to every
+	// Forward/ForwardTimeout: failed sends are re-issued under the
+	// policy's backoff, and per-try timeouts are retried for RPCs opted
+	// in via MarkIdempotent. Nil (the default) keeps the historical
+	// single-attempt semantics.
+	Retry *RetryPolicy
 }
 
 func (o *Options) fillDefaults() {
@@ -126,6 +142,16 @@ type Instance struct {
 	stopping    atomic.Bool
 
 	rpcsInFlight atomic.Int64
+
+	// Client-side resilience state (Options.Retry) and its lifetime
+	// counters, also exported as PVARs and telemetry series.
+	retry          *retryState
+	idemMu         sync.Mutex
+	idem           map[string]bool
+	retriesTotal   atomic.Uint64
+	timeoutsTotal  atomic.Uint64
+	exhaustedTotal atomic.Uint64
+	cancelsTotal   atomic.Uint64
 
 	// handlerStreams is read by monitors while AddHandlerStreams grows
 	// it from policy goroutines, so it lives outside opts.
@@ -187,6 +213,21 @@ func New(opts Options) (*Instance, error) {
 	}
 
 	inst.handlerStreams.Store(int64(opts.HandlerStreams))
+	if opts.Retry != nil {
+		inst.retry = newRetryState(*opts.Retry)
+	}
+	// Export margo's own resilience counters through the same PVAR
+	// registry as the Mercury library variables, so they reach tools via
+	// the session interface and the telemetry sampler alike.
+	inst.hg.PVars().RegisterGlobal(PVarNumRPCRetries,
+		"forward attempts re-issued by the margo retry policy",
+		pvar.ClassCounter, inst.retriesTotal.Load)
+	inst.hg.PVars().RegisterGlobal(PVarNumRPCTimeouts,
+		"forward attempts canceled by their per-try deadline",
+		pvar.ClassCounter, inst.timeoutsTotal.Load)
+	inst.hg.PVars().RegisterGlobal(PVarNumRPCRetriesExhausted,
+		"forwards abandoned after exhausting attempts, deadline, or retry budget",
+		pvar.ClassCounter, inst.exhaustedTotal.Load)
 	inst.initPVarSession()
 	inst.progressULT = inst.progressPool.Create("margo-progress", inst.progressLoop)
 	if opts.Telemetry != nil {
@@ -322,6 +363,9 @@ func (i *Instance) initPVarSession() {
 		mercury.PVarNumPostedHandles,
 		mercury.PVarNumRPCsInvoked,
 		mercury.PVarBulkBytesTransferred,
+		PVarNumRPCRetries,
+		PVarNumRPCTimeouts,
+		PVarNumRPCRetriesExhausted,
 	} {
 		h, err := i.session.AllocHandleByName(name)
 		if err != nil {

@@ -1,0 +1,257 @@
+package margo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"symbiosys/internal/mercury"
+	"symbiosys/internal/na"
+)
+
+// ErrDeadlineExceeded marks a Forward that ran out of deadline or
+// attempts. The returned error also wraps the last attempt's failure,
+// so errors.Is(err, mercury.ErrCanceled) still holds for timeouts.
+var ErrDeadlineExceeded = errors.New("margo: forward deadline exceeded")
+
+// ErrRetryBudgetExhausted marks a retryable failure abandoned because
+// the instance's retry budget ran dry (retry-storm protection).
+var ErrRetryBudgetExhausted = errors.New("margo: retry budget exhausted")
+
+// RetryPolicy is the client-side resilience configuration applied to
+// every Forward/ForwardTimeout of an instance (Options.Retry). Send
+// failures the fabric reports before delivery (unreachable, closed,
+// partitioned links) are always retried; per-try timeouts are retried
+// only for RPCs opted in as idempotent (MarkIdempotent), because a
+// timed-out request may have executed at the target.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries including the first. Default 4.
+	MaxAttempts int
+	// InitialBackoff is the sleep before the first retry; each further
+	// retry multiplies it by Multiplier, capped at MaxBackoff.
+	// Defaults: 1ms initial, 2.0 multiplier, 100ms cap.
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+	Multiplier     float64
+	// Jitter is the uniform random fraction (0..1) added to each
+	// backoff, drawn from the seeded generator. Default 0.2.
+	Jitter float64
+	// PerTryTimeout cancels each attempt that has not completed within
+	// it, also for plain Forward calls (a ForwardTimeout deadline
+	// additionally bounds the whole sequence). Zero means attempts only
+	// time out under a ForwardTimeout deadline.
+	PerTryTimeout time.Duration
+	// Budget is the token bucket protecting against retry storms: each
+	// retry spends one token, each success refills BudgetRefill tokens
+	// (capped at Budget). Defaults: 64 tokens, 0.5 refill. A negative
+	// Budget disables the bucket.
+	Budget       float64
+	BudgetRefill float64
+	// Seed drives the deterministic jitter stream. Default 1.
+	Seed uint64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.InitialBackoff <= 0 {
+		p.InitialBackoff = time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 100 * time.Millisecond
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 0.2
+	}
+	if p.Budget == 0 {
+		p.Budget = 64
+	}
+	if p.BudgetRefill <= 0 {
+		p.BudgetRefill = 0.5
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// DefaultRetryPolicy is the policy the chaos experiments install:
+// 4 attempts, 1ms..100ms exponential backoff with 20% jitter, and a
+// 1s per-try timeout to recover from silently dropped messages. The
+// timeout is deliberately generous: it only has to beat a silent drop,
+// and a value near genuine response latency would burn the retry
+// budget on spurious timeouts under load.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{PerTryTimeout: time.Second}.withDefaults()
+}
+
+// retryState is the per-instance runtime of a RetryPolicy: the token
+// bucket and the seeded jitter stream.
+type retryState struct {
+	pol RetryPolicy
+
+	mu     sync.Mutex
+	tokens float64
+	rng    uint64
+}
+
+func newRetryState(pol RetryPolicy) *retryState {
+	pol = pol.withDefaults()
+	return &retryState{pol: pol, tokens: pol.Budget, rng: pol.Seed}
+}
+
+// allow spends one retry token, reporting whether the retry may go.
+func (rs *retryState) allow() bool {
+	if rs.pol.Budget < 0 {
+		return true
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.tokens < 1 {
+		return false
+	}
+	rs.tokens--
+	return true
+}
+
+// success refills the bucket after a completed forward.
+func (rs *retryState) success() {
+	if rs.pol.Budget < 0 {
+		return
+	}
+	rs.mu.Lock()
+	rs.tokens += rs.pol.BudgetRefill
+	if rs.tokens > rs.pol.Budget {
+		rs.tokens = rs.pol.Budget
+	}
+	rs.mu.Unlock()
+}
+
+// backoff returns the sleep before retry number `retry` (0-based),
+// capped exponential with seeded jitter.
+func (rs *retryState) backoff(retry int) time.Duration {
+	d := float64(rs.pol.InitialBackoff)
+	for i := 0; i < retry; i++ {
+		d *= rs.pol.Multiplier
+		if d >= float64(rs.pol.MaxBackoff) {
+			d = float64(rs.pol.MaxBackoff)
+			break
+		}
+	}
+	if rs.pol.Jitter > 0 {
+		rs.mu.Lock()
+		rs.rng = splitmixMargo(rs.rng)
+		u := float64(rs.rng>>11) / float64(uint64(1)<<53)
+		rs.mu.Unlock()
+		d *= 1 + rs.pol.Jitter*u
+	}
+	if d > float64(rs.pol.MaxBackoff) {
+		d = float64(rs.pol.MaxBackoff)
+	}
+	return time.Duration(d)
+}
+
+// splitmixMargo is the SplitMix64 step used for jitter determinism.
+func splitmixMargo(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// MarkIdempotent opts RPC names into timeout retries: a per-try
+// deadline on these RPCs is treated as recoverable because re-executing
+// the request at the target is safe (e.g. sdskv_put_packed overwrites
+// the same keys).
+func (i *Instance) MarkIdempotent(rpcNames ...string) {
+	i.idemMu.Lock()
+	if i.idem == nil {
+		i.idem = make(map[string]bool, len(rpcNames))
+	}
+	for _, n := range rpcNames {
+		i.idem[n] = true
+	}
+	i.idemMu.Unlock()
+}
+
+// RegisterClientIdempotent is RegisterClient plus MarkIdempotent.
+func (i *Instance) RegisterClientIdempotent(rpcNames ...string) error {
+	if err := i.RegisterClient(rpcNames...); err != nil {
+		return err
+	}
+	i.MarkIdempotent(rpcNames...)
+	return nil
+}
+
+// Idempotent reports whether an RPC name is opted into timeout retries.
+func (i *Instance) Idempotent(rpcName string) bool {
+	i.idemMu.Lock()
+	defer i.idemMu.Unlock()
+	return i.idem[rpcName]
+}
+
+// retryable classifies one failed attempt. timedOut marks a failure
+// produced by this forward's own per-try timer (as opposed to an
+// external CancelPosted, which is never retried).
+func (i *Instance) retryable(err error, timedOut bool, rpcName string) bool {
+	if timedOut {
+		// The request may have reached (and executed at) the target;
+		// only re-issue when re-execution is declared safe.
+		return i.Idempotent(rpcName)
+	}
+	// Send-path failures the fabric reported before delivery: the target
+	// never saw the request, so retrying is safe for any RPC.
+	return errors.Is(err, na.ErrPartitioned) ||
+		errors.Is(err, na.ErrUnreachable) ||
+		errors.Is(err, na.ErrClosed)
+}
+
+// RetryStats is the instance's lifetime resilience counters.
+type RetryStats struct {
+	// Retries counts re-issued attempts (attempts beyond each forward's
+	// first).
+	Retries uint64
+	// Timeouts counts per-try deadlines that canceled an attempt.
+	Timeouts uint64
+	// Exhausted counts forwards abandoned with retryable errors
+	// (attempts, deadline, or budget ran out).
+	Exhausted uint64
+	// Cancels counts attempts completed by an external cancellation
+	// (CancelPosted), which is never retried.
+	Cancels uint64
+}
+
+// RetryStats reports the instance's resilience counters.
+func (i *Instance) RetryStats() RetryStats {
+	return RetryStats{
+		Retries:   i.retriesTotal.Load(),
+		Timeouts:  i.timeoutsTotal.Load(),
+		Exhausted: i.exhaustedTotal.Load(),
+		Cancels:   i.cancelsTotal.Load(),
+	}
+}
+
+// Retry returns a copy of the active policy, or nil when the instance
+// forwards without retries.
+func (i *Instance) Retry() *RetryPolicy {
+	if i.retry == nil {
+		return nil
+	}
+	pol := i.retry.pol
+	return &pol
+}
+
+// exhausted wraps the final retryable error once the loop gives up.
+func exhausted(kind error, rpcName, target string, attempts int, last error) error {
+	return fmt.Errorf("%w: %s to %s after %d attempt(s): %w", kind, rpcName, target, attempts, last)
+}
+
+var _ = mercury.ErrCanceled // see forward.go: timeouts surface as ErrCanceled

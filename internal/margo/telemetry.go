@@ -29,6 +29,14 @@ func (i *Instance) TelemetrySample() telemetry.Sample {
 		HandlerStreams: i.HandlerStreams(),
 		RPCsInFlight:   i.rpcsInFlight.Load(),
 		SysRefreshes:   i.sys.Refreshes(),
+		RPCRetries:     i.retriesTotal.Load(),
+		RPCTimeouts:    i.timeoutsTotal.Load(),
+		RPCExhausted:   i.exhaustedTotal.Load(),
+		RPCCancels:     i.cancelsTotal.Load(),
+		FaultDrops:     i.ep.FaultDrops(),
+		FaultDups:      i.ep.FaultDups(),
+		FaultDelays:    i.ep.FaultDelays(),
+		FaultRefusals:  i.ep.FaultRefusals(),
 	}
 
 	sys := i.sys.Sample()

@@ -62,6 +62,17 @@ type Fabric struct {
 
 	mu  sync.Mutex
 	eps map[string]*Endpoint
+
+	// faults is the hot-settable fault-injection plan (see fault.go);
+	// nil means a healthy fabric with zero per-send overhead beyond the
+	// pointer load.
+	faults atomic.Pointer[faultState]
+
+	// Fabric-wide injected-fault totals.
+	faultDrops    atomic.Uint64
+	faultDups     atomic.Uint64
+	faultDelays   atomic.Uint64
+	faultRefusals atomic.Uint64
 }
 
 // NewFabric creates a fabric with the given cost model.
@@ -219,6 +230,12 @@ type Endpoint struct {
 	sends atomic.Uint64
 	recvs atomic.Uint64
 	rdmas atomic.Uint64
+
+	// Injected-fault counters, sender side (see fault.go accessors).
+	faultDrops    atomic.Uint64
+	faultDups     atomic.Uint64
+	faultDelays   atomic.Uint64
+	faultRefusals atomic.Uint64
 }
 
 // Addr returns the endpoint's fabric address ("node/name").
@@ -254,7 +271,15 @@ func (e *Endpoint) Send(to string, tag uint64, data []byte, ctx any) {
 		e.cq.post(Event{Kind: EvError, Ctx: ctx, Err: err})
 		return
 	}
-	d := e.fabric.delay(e.node, dst.node, len(data))
+	fault, refused := e.evalFaults(to, false)
+	if refused {
+		// Partitioned link: refuse like an unreachable peer, before any
+		// chain entry is created.
+		e.cq.post(Event{Kind: EvError, Ctx: ctx,
+			Err: fmt.Errorf("%w: %s -> %s", ErrPartitioned, e.addr, to)})
+		return
+	}
+	d := e.fabric.delay(e.node, dst.node, len(data)) + fault.delay
 	msg := &Message{From: e.addr, To: to, Tag: tag, Data: data}
 
 	// Link this delivery behind the previous one to the same peer so
@@ -277,8 +302,16 @@ func (e *Endpoint) Send(to string, tag uint64, data []byte, ctx any) {
 			e.cq.post(Event{Kind: EvError, Ctx: ctx, Err: fmt.Errorf("%w: %s", ErrClosed, to)})
 			return
 		}
-		dst.recvs.Add(1)
-		dst.cq.post(Event{Kind: EvRecv, Msg: msg})
+		if !fault.drop {
+			dst.recvs.Add(1)
+			dst.cq.post(Event{Kind: EvRecv, Msg: msg})
+			if fault.dup {
+				dst.recvs.Add(1)
+				dst.cq.post(Event{Kind: EvRecv, Msg: msg})
+			}
+		}
+		// A dropped message still completes on the sender: the NIC
+		// reported the send done; the loss is the receiver's silence.
 		e.cq.post(Event{Kind: EvSendDone, Ctx: ctx})
 	})
 }
@@ -332,7 +365,13 @@ func (e *Endpoint) rdma(remote MemHandle, off int, local []byte, ctx any, put bo
 		e.cq.post(Event{Kind: EvError, Ctx: ctx, Err: err})
 		return
 	}
-	d := e.fabric.delay(e.node, dst.node, len(local))
+	fault, refused := e.evalFaults(remote.Addr, true)
+	if refused {
+		e.cq.post(Event{Kind: EvError, Ctx: ctx,
+			Err: fmt.Errorf("%w: %s -> %s", ErrPartitioned, e.addr, remote.Addr)})
+		return
+	}
+	d := e.fabric.delay(e.node, dst.node, len(local)) + fault.delay
 	after(d, func() {
 		buf, ok := dst.memRegion(remote.ID)
 		if !ok {

@@ -56,6 +56,18 @@ type Sample struct {
 	TargetHandlerNanos uint64 `json:"target_handler_nanos"`
 	TargetTotalNanos   uint64 `json:"target_total_nanos"`
 
+	// Client-side resilience counters (margo retry policy) and the
+	// fabric's injected-fault totals, so a failing link and the retries
+	// absorbing it are visible live in /metrics and symmon.
+	RPCRetries    uint64 `json:"rpc_retries"`
+	RPCTimeouts   uint64 `json:"rpc_timeouts"`
+	RPCExhausted  uint64 `json:"rpc_exhausted"`
+	RPCCancels    uint64 `json:"rpc_cancels"`
+	FaultDrops    uint64 `json:"fault_drops"`
+	FaultDups     uint64 `json:"fault_dups"`
+	FaultDelays   uint64 `json:"fault_delays"`
+	FaultRefusals uint64 `json:"fault_refusals"`
+
 	// Instance tuning knobs, exported so remediations show up in the
 	// series the moment a policy applies them.
 	OFIMaxEvents   int   `json:"ofi_max_events"`
@@ -196,6 +208,14 @@ func (s *Sampler) SampleOnce() Sample {
 	s.push(t, "target_calls", Counter, float64(sm.TargetCalls))
 	s.push(t, "target_handler_nanos", Counter, float64(sm.TargetHandlerNanos))
 	s.push(t, "target_total_nanos", Counter, float64(sm.TargetTotalNanos))
+	s.push(t, "rpc_retries_total", Counter, float64(sm.RPCRetries))
+	s.push(t, "rpc_timeouts_total", Counter, float64(sm.RPCTimeouts))
+	s.push(t, "rpc_exhausted_total", Counter, float64(sm.RPCExhausted))
+	s.push(t, "rpc_cancels_total", Counter, float64(sm.RPCCancels))
+	s.push(t, "fault_drops_total", Counter, float64(sm.FaultDrops))
+	s.push(t, "fault_dups_total", Counter, float64(sm.FaultDups))
+	s.push(t, "fault_delays_total", Counter, float64(sm.FaultDelays))
+	s.push(t, "fault_refusals_total", Counter, float64(sm.FaultRefusals))
 	s.push(t, "ofi_max_events", Gauge, float64(sm.OFIMaxEvents))
 	s.push(t, "handler_streams", Gauge, float64(sm.HandlerStreams))
 	s.push(t, "rpcs_in_flight", Gauge, float64(sm.RPCsInFlight))
