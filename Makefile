@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench smoke-metrics chaos-smoke
+.PHONY: all build test race vet check bench smoke-metrics chaos-smoke overload-smoke
 
 all: check
 
@@ -17,17 +17,18 @@ vet:
 # measurement collector, the Margo instrumentation that records into it
 # from many execution streams, the telemetry sampler/exposer that reads
 # it live, the policy engine fed by the sampler, the fabric's
-# completion-queue accessors and fault-injection plane, and Mercury's
-# cancel-vs-response completion race.
+# completion-queue accessors and fault-injection plane, Mercury's
+# cancel-vs-response completion race, and the abt scheduler whose
+# lock-free pool-depth mirror feeds admission control.
 race:
 	$(GO) test -race ./internal/core/... ./internal/margo/... \
 		./internal/telemetry/... ./internal/policy/... ./internal/na/... \
-		./internal/mercury/...
+		./internal/mercury/... ./internal/abt/...
 
 # check is the pre-commit gate: static analysis, race tests on the
-# measurement pipeline, the fault-path smoke run, then the full tier-1
-# build + test sweep.
-check: vet race chaos-smoke build test
+# measurement pipeline, the fault-path and overload-path smoke runs,
+# then the full tier-1 build + test sweep.
+check: vet race chaos-smoke overload-smoke build test
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
@@ -45,3 +46,11 @@ smoke-metrics:
 # exposition, and a clean shutdown.
 chaos-smoke:
 	$(GO) test ./internal/experiments/ -run TestChaosSmoke -count=1 -v
+
+# overload-smoke drives an undersized provider past saturation with
+# deadline-stamped requests and asserts the overload-control bar: zero
+# acked-then-lost ops, handler queue bounded by the admission cap,
+# breaker trips during the storm, goodput recovery via half-open
+# probes, and shed counters visible in /metrics and the profile dumps.
+overload-smoke:
+	$(GO) test ./internal/experiments/ -run TestOverloadSmoke -count=1 -v

@@ -14,11 +14,19 @@
 //	hepnos-bench -config C1 -metrics :9100   # live /metrics + /snapshot
 //	hepnos-bench -chaos                # C2 under the seeded fault plan
 //	hepnos-bench -chaos -chaos-drop 0.05 -chaos-delay 10ms -metrics :9100
+//	hepnos-bench -overload             # overload storm + recovery scenario
+//	hepnos-bench -overload -overload-clients 8 -overload-deadline 3ms
 //
 // With -chaos, the run replays the configuration (default C2) under a
 // deterministic fault plan (drop/dup/delay probabilities, seeded) with
 // the margo retry policy absorbing failures, and reports goodput,
 // retry amplification, and p99 inflation against a clean baseline.
+//
+// With -overload, the run drives an undersized provider past saturation
+// with deadline-stamped requests, then lets it recover, and reports the
+// shed rate, breaker trips, and p99 before/after recovery. A SIGINT or
+// SIGTERM during any run triggers a graceful drain of the live cluster
+// before exiting.
 //
 // With -metrics, every process gets a live telemetry sampler and the
 // run serves Prometheus exposition while it executes:
@@ -30,7 +38,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"symbiosys/internal/core"
@@ -49,10 +59,35 @@ func main() {
 	chaosDelayProb := flag.Float64("chaos-delay-prob", 0.05, "probability a message draws the injected delay")
 	chaosDelay := flag.Duration("chaos-delay", 5*time.Millisecond, "injected per-message delay")
 	chaosSeed := flag.Uint64("chaos-seed", 42, "seed of the deterministic fault schedule")
+	overload := flag.Bool("overload", false, "run the overload storm + recovery scenario")
+	overloadClients := flag.Int("overload-clients", 0, "storming client processes (0 = scenario default)")
+	overloadIssuers := flag.Int("overload-issuers", 0, "issuer ULTs per client (0 = scenario default)")
+	overloadOps := flag.Int("overload-ops", 0, "storm operations per issuer (0 = scenario default)")
+	overloadDeadline := flag.Duration("overload-deadline", 0, "absolute per-op deadline stamped on storm requests (0 = scenario default)")
 	flag.Parse()
 	metricsAddr = *metrics
 
+	// A signal during a run drains the live cluster — stop admitting,
+	// finish in-flight handlers, flush sinks — instead of dying with
+	// work on the wire.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "\nhepnos-bench: %v, draining live clusters...\n", sig)
+		if err := experiments.DrainActive(5 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "hepnos-bench: drain:", err)
+			os.Exit(1)
+		}
+		os.Exit(130)
+	}()
+
 	switch {
+	case *overload:
+		runOverload(overloadKnobs{
+			clients: *overloadClients, issuers: *overloadIssuers,
+			stormOps: *overloadOps, deadline: *overloadDeadline,
+		})
 	case *chaos:
 		name := *configName
 		if name == "" {
@@ -192,6 +227,54 @@ func runChaos(base experiments.HEPnOSConfig, scale int, k chaosKnobs) {
 	}
 	if res.LostEvents != 0 {
 		fmt.Fprintln(os.Stderr, "hepnos-bench: chaos run lost client operations")
+		os.Exit(1)
+	}
+}
+
+// overloadKnobs carries the -overload-* flag values.
+type overloadKnobs struct {
+	clients, issuers, stormOps int
+	deadline                   time.Duration
+}
+
+func runOverload(k overloadKnobs) {
+	res, err := experiments.RunOverload(experiments.OverloadConfig{
+		Clients:          k.clients,
+		IssuersPerClient: k.issuers,
+		StormOps:         k.stormOps,
+		StormDeadline:    k.deadline,
+		MetricsAddr:      metricsAddr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hepnos-bench:", err)
+		os.Exit(1)
+	}
+	cfg := res.Config
+	fmt.Printf("\n=== overload storm (%d clients x %d issuers, %d ops each, deadline %v; server %d streams, %v/op, max in-flight %d)\n",
+		cfg.Clients, cfg.IssuersPerClient, cfg.StormOps, cfg.StormDeadline,
+		cfg.HandlerStreams, cfg.HandlerCost, cfg.Overload.MaxInFlight)
+	fmt.Printf("  storm:    %d/%d acked (%.1f%%)  p99 %v\n",
+		res.StormAcked, res.StormOps, 100*res.StormSuccessRate(),
+		res.StormP99.Round(time.Microsecond))
+	fmt.Printf("  shed %d  expired %d  (shed rate %.1f%% of storm ops)\n",
+		res.Shed, res.Expired, 100*float64(res.Shed)/float64(res.StormOps))
+	fmt.Printf("  breakers: %d trips, %d local fast-fails; retries %d, exhausted %d\n",
+		res.BreakerTrips, res.BreakerFastFails, res.Retries, res.Exhausted)
+	fmt.Printf("  handler queue high-watermark %d (cap %d)\n",
+		res.QueueHWM, cfg.Overload.MaxInFlight)
+	fmt.Printf("  recovery: %d/%d acked (%.1f%%)  p99 %v (storm p99 %v)\n",
+		res.RecoveryAcked, res.RecoveryOps, 100*res.RecoverySuccessRate(),
+		res.RecoveryP99.Round(time.Microsecond), res.StormP99.Round(time.Microsecond))
+	if res.MetricsAddr != "" {
+		fmt.Printf("  served live telemetry on http://%s/metrics\n", res.MetricsAddr)
+	}
+	if res.DrainErr != nil {
+		fmt.Fprintln(os.Stderr, "hepnos-bench: drain:", res.DrainErr)
+		os.Exit(1)
+	}
+	fmt.Printf("  graceful drain completed; %d acked-then-lost ops\n", res.LostAcked)
+	if res.LostAcked != 0 {
+		fmt.Fprintln(os.Stderr, "hepnos-bench: overload run acknowledged operations it lost")
 		os.Exit(1)
 	}
 }

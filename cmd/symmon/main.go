@@ -22,8 +22,10 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"symbiosys/internal/telemetry"
@@ -35,6 +37,16 @@ func main() {
 	top := flag.Int("top", 3, "callpaths shown per instance (0 to hide)")
 	once := flag.Bool("once", false, "print one snapshot and exit")
 	flag.Parse()
+
+	// Exit the refresh loop cleanly on ^C: end the repaint with a fresh
+	// line so the shell prompt does not land mid-table.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		fmt.Println()
+		os.Exit(0)
+	}()
 
 	client := &http.Client{Timeout: 5 * time.Second}
 	first := true

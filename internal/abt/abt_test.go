@@ -468,3 +468,40 @@ func TestStateString(t *testing.T) {
 func hold(d time.Duration) {
 	time.Sleep(d)
 }
+
+// TestPoolRunnableMirrorsQueue: the lock-free Runnable mirror must track
+// len(q) through pushes and pops — admission control reads it on every
+// incoming RPC and a stale depth would admit into a saturated pool.
+func TestPoolRunnableMirrorsQueue(t *testing.T) {
+	p := NewPool("mirror")
+	if got := p.Runnable(); got != 0 {
+		t.Fatalf("empty pool Runnable = %d", got)
+	}
+	gate := NewEventual()
+	const n = 5
+	for i := 0; i < n; i++ {
+		p.Create("parked", func(self *ULT) { gate.Wait(self) })
+	}
+	// No XStream is attached: all n ULTs sit queued.
+	if got := p.Runnable(); got != n {
+		t.Fatalf("Runnable = %d with %d queued ULTs", got, n)
+	}
+	if got := p.SizeHighWatermark(); got != n {
+		t.Fatalf("SizeHighWatermark = %d, want %d", got, n)
+	}
+
+	// Drain them with a stream; the mirror must return to zero.
+	xs := NewXStream("drainer", p)
+	gate.Set(nil)
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Executed() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("executed %d of %d", p.Executed(), n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if got := p.Runnable(); got != 0 {
+		t.Fatalf("Runnable = %d after drain", got)
+	}
+	xs.Stop()
+}

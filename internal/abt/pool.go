@@ -25,6 +25,10 @@ type Pool struct {
 	// them so an idle stream re-examines its pools.
 	subs []chan struct{}
 
+	// runnable mirrors len(q) so admission control and telemetry can
+	// read the queue depth without taking the pool lock on every RPC.
+	runnable atomic.Int64
+
 	blocked  atomic.Int64
 	created  atomic.Uint64
 	executed atomic.Uint64
@@ -64,7 +68,9 @@ func (p *Pool) push(u *ULT) {
 	u.state.Store(int32(StateReady))
 	p.mu.Lock()
 	p.q = append(p.q, u)
-	if n := int64(len(p.q)); n > p.sizeHWM.Load() {
+	n := int64(len(p.q))
+	p.runnable.Store(n)
+	if n > p.sizeHWM.Load() {
 		p.sizeHWM.Store(n)
 	}
 	subs := p.subs
@@ -89,6 +95,7 @@ func (p *Pool) pop() *ULT {
 	copy(p.q, p.q[1:])
 	p.q[len(p.q)-1] = nil
 	p.q = p.q[:len(p.q)-1]
+	p.runnable.Store(int64(len(p.q)))
 	return u
 }
 
@@ -105,6 +112,11 @@ func (p *Pool) Len() int {
 	defer p.mu.Unlock()
 	return len(p.q)
 }
+
+// Runnable reports the runnable-queue depth from a lock-free mirror of
+// len(q). Admission control reads this on every incoming request, so it
+// must not contend with the scheduler's push/pop path.
+func (p *Pool) Runnable() int64 { return p.runnable.Load() }
 
 // Blocked reports the number of ULTs created from this pool that are
 // currently parked on a blocking primitive. This is the counter sampled

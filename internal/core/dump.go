@@ -18,9 +18,14 @@ type ProfileDump struct {
 	Names   map[uint16]string `json:"names"`
 	// TraceDropped surfaces silent trace-ring truncation alongside the
 	// profile so offline analysis can flag incomplete traces.
-	TraceDropped uint64      `json:"trace_dropped,omitempty"`
-	Origin       []DumpEntry `json:"origin"`
-	Target       []DumpEntry `json:"target"`
+	TraceDropped uint64 `json:"trace_dropped,omitempty"`
+	// PVars carries the process's library-global performance-variable
+	// totals at dump time (requests shed, deadline expiries, breaker
+	// trips, retries, ...), when the owning layer installed a snapshot
+	// provider (Profiler.SetPVarSnapshot).
+	PVars  map[string]uint64 `json:"pvars,omitempty"`
+	Origin []DumpEntry       `json:"origin"`
+	Target []DumpEntry       `json:"target"`
 }
 
 // DumpEntry is one (callpath, peer) row of a profile dump.

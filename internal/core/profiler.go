@@ -126,6 +126,14 @@ func (s *CallStats) record(total time.Duration, comps *[NumComponents]uint64) {
 	}
 }
 
+// Record folds one standalone observation into the stats (no component
+// breakdown). Scenario harnesses use it to build phase-local latency
+// distributions with the same histogram/percentile machinery the
+// collector uses for callpaths.
+func (s *CallStats) Record(total time.Duration) {
+	s.record(total, nil)
+}
+
 // Merge folds other into s (used by offline profile aggregation).
 func (s *CallStats) Merge(other *CallStats) {
 	if other.Count == 0 {
@@ -228,6 +236,12 @@ type Profiler struct {
 	// mutated) on reconfiguration, so hot-path readers load it once per
 	// operation without locking.
 	coll atomic.Pointer[Collector]
+
+	// pvarSnap, when set (SetPVarSnapshot), is called at Dump time so
+	// profile dumps carry the owning layer's performance-variable
+	// totals (shed/retry/breaker counters and the like) alongside the
+	// callpath statistics.
+	pvarSnap atomic.Pointer[func() map[string]uint64]
 
 	start time.Time
 }
@@ -399,5 +413,17 @@ func (p *Profiler) Dump() *ProfileDump {
 	}
 	sort.Slice(d.Origin, func(i, j int) bool { return d.Origin[i].less(&d.Origin[j]) })
 	sort.Slice(d.Target, func(i, j int) bool { return d.Target[i].less(&d.Target[j]) })
+	if fn := p.pvarSnap.Load(); fn != nil {
+		d.PVars = (*fn)()
+	}
 	return d
+}
+
+// SetPVarSnapshot installs the provider of the PVar totals attached to
+// profile dumps. The owning layer (margo) passes a closure reading its
+// performance variables, so operational counters — requests shed,
+// deadline expiries, breaker trips, retries — land in the same dump the
+// analysis scripts ingest.
+func (p *Profiler) SetPVarSnapshot(fn func() map[string]uint64) {
+	p.pvarSnap.Store(&fn)
 }

@@ -2,8 +2,14 @@ package experiments
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/mercury"
+	"symbiosys/internal/na"
 )
 
 // TestChaosSmoke is the `make chaos-smoke` target: a short C2-shaped
@@ -134,5 +140,71 @@ func TestChaosCompareClean(t *testing.T) {
 	}
 	if res.P99Inflation() <= 0 {
 		t.Fatalf("p99 inflation = %v", res.P99Inflation())
+	}
+}
+
+// TestClusterDrainWithInflightUnderFaults: Cluster.Drain during live
+// traffic on a faulty fabric must finish clean — clients drain first
+// (their in-flight forwards, including fault-triggered retries, run to
+// completion against a still-serving provider), then the server — and
+// no completed forward may be lost.
+func TestClusterDrainWithInflightUnderFaults(t *testing.T) {
+	cluster := NewCluster(DefaultFabric())
+	shutdown := true
+	defer func() {
+		if shutdown {
+			cluster.Shutdown()
+		}
+	}()
+
+	plan := na.NewFaultPlan(7)
+	plan.Default = na.FaultRule{DelayProb: 0.5, Delay: 2 * time.Millisecond}
+	cluster.Fabric.SetFaultPlan(plan)
+
+	srv, err := cluster.Start(ProcessOptions{Mode: margo.ModeServer, Node: "dn1", Name: "srv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := margo.DefaultRetryPolicy()
+	cli, err := cluster.Start(ProcessOptions{Mode: margo.ModeClient, Node: "dn0", Name: "cli",
+		Retry: &pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register("drain_rpc", func(ctx *margo.Context) {
+		ctx.Compute(5 * time.Millisecond)
+		ctx.Respond(mercury.Void{})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.RegisterClient("drain_rpc"); err != nil {
+		t.Fatal(err)
+	}
+
+	const inflight = 6
+	errs := make([]error, inflight)
+	var wg sync.WaitGroup
+	for k := 0; k < inflight; k++ {
+		k := k
+		wg.Add(1)
+		cli.Run("drainer", func(self *abt.ULT) {
+			defer wg.Done()
+			errs[k] = cli.Forward(self, srv.Addr(), "drain_rpc", &mercury.Void{}, nil)
+		})
+	}
+	// Drain while the forwards are mid-flight; the drain must wait for
+	// them rather than cutting the fabric out from under the retries.
+	for cli.InFlight() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if err := cluster.Drain(5 * time.Second); err != nil {
+		t.Fatalf("drain with in-flight traffic: %v", err)
+	}
+	shutdown = false
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			t.Errorf("forward %d across drain: %v", k, err)
+		}
 	}
 }

@@ -8,7 +8,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"symbiosys/internal/analysis"
@@ -33,7 +35,9 @@ type Cluster struct {
 
 // NewCluster creates a cluster over a fabric with the given cost model.
 func NewCluster(cfg na.Config) *Cluster {
-	return &Cluster{Fabric: na.NewFabric(cfg)}
+	c := &Cluster{Fabric: na.NewFabric(cfg)}
+	registerCluster(c)
+	return c
 }
 
 // ProcessOptions describes one virtual process to start.
@@ -49,6 +53,9 @@ type ProcessOptions struct {
 	// Retry installs a client-side resilience policy on the process
 	// (margo.Options.Retry); nil keeps single-attempt forwards.
 	Retry *margo.RetryPolicy
+	// Overload installs server-side admission control on the process
+	// (margo.Options.Overload); nil admits unconditionally.
+	Overload *margo.OverloadPolicy
 }
 
 // Start launches a virtual process on the cluster.
@@ -67,6 +74,7 @@ func (c *Cluster) Start(opts ProcessOptions) (*margo.Instance, error) {
 		Stage:               opts.Stage,
 		Telemetry:           c.telemetry,
 		Retry:               opts.Retry,
+		Overload:            opts.Overload,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: start %s/%s: %w", opts.Node, opts.Name, err)
@@ -116,6 +124,79 @@ func (c *Cluster) Shutdown() error {
 	}
 	for _, inst := range c.instances {
 		if err := inst.Shutdown(); err != nil && first == nil {
+			first = err
+		}
+	}
+	unregisterCluster(c)
+	return first
+}
+
+// Drain gracefully quiesces the cluster: every instance stops admitting
+// new requests (clients first, so their in-flight forwards complete
+// against still-serving providers, then servers), waits up to timeout
+// for in-flight work, and tears down. The metrics endpoint stays up
+// until the last instance has drained so the draining gauge is
+// scrapeable during the window. Returns the first drain error (a
+// context deadline means the drain was dirty: in-flight work was
+// abandoned).
+func (c *Cluster) Drain(timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var first error
+	// Reverse start order: experiments start servers before clients, so
+	// this drains clients first — their in-flight forwards complete
+	// against still-serving providers — then quiesces the servers.
+	for i := len(c.instances) - 1; i >= 0; i-- {
+		if err := c.instances[i].Drain(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.exposer != nil {
+		if err := c.exposer.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	unregisterCluster(c)
+	return first
+}
+
+// Cluster registry: live clusters are tracked so process-level signal
+// handlers (hepnos-bench, symmon) can drain whatever is running when
+// SIGINT/SIGTERM arrives, without threading the cluster through every
+// call chain.
+var (
+	activeMu       sync.Mutex
+	activeClusters []*Cluster
+)
+
+func registerCluster(c *Cluster) {
+	activeMu.Lock()
+	activeClusters = append(activeClusters, c)
+	activeMu.Unlock()
+}
+
+func unregisterCluster(c *Cluster) {
+	activeMu.Lock()
+	for i, ac := range activeClusters {
+		if ac == c {
+			activeClusters = append(activeClusters[:i], activeClusters[i+1:]...)
+			break
+		}
+	}
+	activeMu.Unlock()
+}
+
+// DrainActive drains every live cluster (newest first, so nested or
+// later deployments quiesce before the ones they depend on), returning
+// the first error. Intended for signal handlers.
+func DrainActive(timeout time.Duration) error {
+	activeMu.Lock()
+	clusters := make([]*Cluster, len(activeClusters))
+	copy(clusters, activeClusters)
+	activeMu.Unlock()
+	var first error
+	for i := len(clusters) - 1; i >= 0; i-- {
+		if err := clusters[i].Drain(timeout); err != nil && first == nil {
 			first = err
 		}
 	}

@@ -1,0 +1,427 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/analysis"
+	"symbiosys/internal/core"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/mercury"
+	"symbiosys/internal/telemetry"
+)
+
+// RPCStormPut is the storm scenario's RPC: store one key, burning a
+// configurable backend cost on the handler's execution stream.
+const RPCStormPut = "storm_put"
+
+// OverloadConfig shapes one overload-storm run: a deliberately
+// undersized provider (few execution streams, slow handler) driven past
+// saturation by an unpaced client storm, with the full overload-control
+// plane engaged — admission watermarks on the server, deadline
+// propagation on the wire, circuit breakers + retries on the clients —
+// followed by a paced recovery phase that must see goodput return as
+// breakers half-open and close.
+type OverloadConfig struct {
+	// Clients and IssuersPerClient set the storm's concurrency:
+	// Clients×IssuersPerClient unpaced issuers. Defaults 6 and 4.
+	Clients          int
+	IssuersPerClient int
+	// StormOps / RecoveryOps are operations per issuer in each phase.
+	// Defaults 40 and 20.
+	StormOps    int
+	RecoveryOps int
+
+	// HandlerStreams and HandlerCost size the provider: capacity is
+	// HandlerStreams/HandlerCost ops/sec. Defaults 2 and 300µs — ~6.7k
+	// ops/sec, far under the storm's demand.
+	HandlerStreams int
+	HandlerCost    time.Duration
+
+	// Overload is the server's admission policy. The default uses
+	// MaxInFlight 8 (soft 4 / hard 8), so the handler queue is provably
+	// bounded regardless of drain speed.
+	Overload *margo.OverloadPolicy
+	// Retry is the clients' policy; the default enables the breaker
+	// (threshold 3, 20ms cooldown), 5 attempts with backoffs whose sum
+	// exceeds the cooldown (so recovery-phase retries ride out an open
+	// circuit instead of exhausting under it), and no budget bucket so
+	// the run is deterministic.
+	Retry *margo.RetryPolicy
+
+	// StormDeadline is the absolute per-op deadline stamped on storm
+	// requests (ForwardEx). Default 5ms.
+	StormDeadline time.Duration
+	// RecoveryPace is the inter-op sleep during recovery. Default 10ms
+	// (24 issuers at 10ms ≈ 2.4k ops/s, well under the default ~6.7k
+	// ops/s capacity, so recovery demand is genuinely sustainable).
+	RecoveryPace time.Duration
+
+	Stage core.Stage
+
+	// MetricsAddr, when non-empty, serves live telemetry for the run;
+	// the result carries a /metrics exposition rendered right before
+	// the drain so callers can assert on the symbiosys_overload_*
+	// families.
+	MetricsAddr string
+
+	// DrainTimeout bounds the graceful drain ending the run. Default 2s.
+	DrainTimeout time.Duration
+}
+
+func (c OverloadConfig) withDefaults() OverloadConfig {
+	if c.Clients == 0 {
+		c.Clients = 6
+	}
+	if c.IssuersPerClient == 0 {
+		c.IssuersPerClient = 4
+	}
+	if c.StormOps == 0 {
+		c.StormOps = 40
+	}
+	if c.RecoveryOps == 0 {
+		c.RecoveryOps = 20
+	}
+	if c.HandlerStreams == 0 {
+		c.HandlerStreams = 2
+	}
+	if c.HandlerCost == 0 {
+		c.HandlerCost = 300 * time.Microsecond
+	}
+	if c.Overload == nil {
+		c.Overload = &margo.OverloadPolicy{
+			SoftWatermark: 4,
+			HardWatermark: 8,
+			MaxInFlight:   8,
+		}
+	}
+	if c.Retry == nil {
+		c.Retry = &margo.RetryPolicy{
+			MaxAttempts:    5,
+			InitialBackoff: 2 * time.Millisecond,
+			MaxBackoff:     16 * time.Millisecond,
+			Budget:         -1, // deterministic: no token bucket
+			Breaker: &margo.BreakerPolicy{
+				Threshold: 3,
+				Cooldown:  20 * time.Millisecond,
+			},
+		}
+	}
+	if c.StormDeadline == 0 {
+		c.StormDeadline = 5 * time.Millisecond
+	}
+	if c.RecoveryPace == 0 {
+		c.RecoveryPace = 10 * time.Millisecond
+	}
+	if c.Stage == 0 {
+		c.Stage = core.StageFull
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// stormArgs is the storm_put request payload.
+type stormArgs struct {
+	Key string
+	Val []byte
+}
+
+// Proc implements mercury.Procable.
+func (a *stormArgs) Proc(p *mercury.Proc) error {
+	p.String(&a.Key)
+	p.Bytes(&a.Val)
+	return p.Err()
+}
+
+// stormStore is the provider's backend: a map guarded by an abt mutex
+// so concurrent handler ULTs serialize like a real embedded KV store.
+type stormStore struct {
+	mu   abt.Mutex
+	keys map[string]bool
+}
+
+func (s *stormStore) put(self *abt.ULT, key string) {
+	s.mu.Lock(self)
+	s.keys[key] = true
+	s.mu.Unlock()
+}
+
+// phaseStats accumulates one phase's per-op outcomes across issuers,
+// keeping the acknowledged keys for the never-lie audit.
+type phaseStats struct {
+	mu    sync.Mutex
+	ops   uint64
+	acked []string
+	lat   core.CallStats // acknowledged-op latency distribution
+}
+
+func (ps *phaseStats) record(key string, ok bool, d time.Duration) {
+	ps.mu.Lock()
+	ps.ops++
+	if ok {
+		ps.acked = append(ps.acked, key)
+		ps.lat.Record(d)
+	}
+	ps.mu.Unlock()
+}
+
+// OverloadResult is the storm report.
+type OverloadResult struct {
+	Config   OverloadConfig
+	WallTime time.Duration
+
+	// Per-phase op counts and acknowledged-op latencies.
+	StormOps      uint64
+	StormAcked    uint64
+	RecoveryOps   uint64
+	RecoveryAcked uint64
+	StormP99      time.Duration
+	RecoveryP99   time.Duration
+
+	// LostAcked counts operations the clients saw acknowledged whose
+	// keys are missing from the store — the never-lie-to-the-client
+	// invariant; the acceptance bar is zero.
+	LostAcked int64
+
+	// QueueHWM is the server handler pool's size high-watermark; the
+	// MaxInFlight admission cap bounds it.
+	QueueHWM int64
+
+	// Server-side decisions and client-side breaker activity.
+	Shed             uint64
+	Expired          uint64
+	BreakerTrips     uint64
+	BreakerFastFails uint64
+	Retries          uint64
+	Exhausted        uint64
+
+	// FailedServerSpans counts Failed target-side spans in the merged
+	// trace — shed and expired decisions as symtrace reconstructs them
+	// (each rejection must close as one Failed SERVER span, not dangle).
+	FailedServerSpans int
+
+	// ServerPVars is the server's profile-dump PVar block (shed,
+	// expired, and breaker counters as the offline analysis scripts
+	// read them).
+	ServerPVars map[string]uint64
+
+	// MetricsAddr/MetricsText capture the live-telemetry surface when
+	// Config.MetricsAddr was set: the bound address and a /metrics
+	// exposition rendered just before the drain.
+	MetricsAddr string
+	MetricsText string
+
+	// DrainErr is the graceful drain's outcome (nil means every
+	// in-flight handler finished inside Config.DrainTimeout).
+	DrainErr error
+}
+
+// StormSuccessRate is acked/issued for the storm phase.
+func (r *OverloadResult) StormSuccessRate() float64 {
+	if r.StormOps == 0 {
+		return 0
+	}
+	return float64(r.StormAcked) / float64(r.StormOps)
+}
+
+// RecoverySuccessRate is acked/issued for the recovery phase.
+func (r *OverloadResult) RecoverySuccessRate() float64 {
+	if r.RecoveryOps == 0 {
+		return 0
+	}
+	return float64(r.RecoveryAcked) / float64(r.RecoveryOps)
+}
+
+// RunOverload drives the storm scenario: saturate, shed, trip breakers,
+// recover, drain. See OverloadConfig for the knobs and OverloadResult
+// for the facts the smoke test asserts on.
+func RunOverload(cfg OverloadConfig) (*OverloadResult, error) {
+	cfg = cfg.withDefaults()
+	cluster := NewCluster(DefaultFabric())
+	shutdown := true
+	defer func() {
+		if shutdown {
+			cluster.Shutdown()
+		}
+	}()
+
+	res := &OverloadResult{Config: cfg}
+
+	if cfg.MetricsAddr != "" {
+		cluster.EnableTelemetry(telemetry.Options{})
+		addr, err := cluster.ServeMetrics(cfg.MetricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: serve metrics: %w", err)
+		}
+		res.MetricsAddr = addr
+	}
+
+	// One deliberately undersized provider.
+	server, err := cluster.Start(ProcessOptions{
+		Mode: margo.ModeServer, Node: "overload-server", Name: "provider",
+		HandlerStreams: cfg.HandlerStreams,
+		Stage:          cfg.Stage,
+		Overload:       cfg.Overload,
+	})
+	if err != nil {
+		return nil, err
+	}
+	store := &stormStore{keys: make(map[string]bool)}
+	if err := server.Register(RPCStormPut, func(ctx *margo.Context) {
+		var args stormArgs
+		if err := ctx.GetInput(&args); err != nil {
+			ctx.RespondError("storm_put: %v", err)
+			return
+		}
+		ctx.Compute(cfg.HandlerCost)
+		store.put(ctx.Self, args.Key)
+		ctx.Respond(mercury.Void{})
+	}); err != nil {
+		return nil, err
+	}
+
+	var clients []*margo.Instance
+	for i := 0; i < cfg.Clients; i++ {
+		inst, err := cluster.Start(ProcessOptions{
+			Mode: margo.ModeClient,
+			Node: fmt.Sprintf("overload-client%d", i), Name: "storm",
+			Stage: cfg.Stage,
+			Retry: cfg.Retry,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := inst.RegisterClient(RPCStormPut); err != nil {
+			return nil, err
+		}
+		clients = append(clients, inst)
+	}
+
+	target := server.Addr()
+	start := time.Now()
+
+	// Phase 1 — storm: every issuer fires back-to-back deadline-stamped
+	// puts. Demand exceeds capacity several times over, so admission
+	// control must shed, deadlines must expire, and breakers must trip.
+	storm := &phaseStats{}
+	runPhase(clients, cfg.IssuersPerClient, "storm", func(self *abt.ULT, inst *margo.Instance, issuer int) {
+		for op := 0; op < cfg.StormOps; op++ {
+			key := fmt.Sprintf("storm/%s/%d/%d", inst.Addr(), issuer, op)
+			t0 := time.Now()
+			err := inst.ForwardEx(self, target, RPCStormPut,
+				&stormArgs{Key: key, Val: []byte("v")}, nil,
+				margo.ForwardOpts{Deadline: t0.Add(cfg.StormDeadline)})
+			storm.record(key, err == nil, time.Since(t0))
+		}
+	})
+	res.StormOps = storm.ops
+	res.StormAcked = uint64(len(storm.acked))
+	res.StormP99 = storm.lat.Percentile(99)
+
+	// Phase 2 — recovery: the storm stops and issuers pace themselves.
+	// Open breakers fast-fail the first few ops, cooldowns elapse,
+	// half-open probes succeed against the now-idle provider, circuits
+	// close, and goodput returns.
+	recovery := &phaseStats{}
+	runPhase(clients, cfg.IssuersPerClient, "recovery", func(self *abt.ULT, inst *margo.Instance, issuer int) {
+		for op := 0; op < cfg.RecoveryOps; op++ {
+			key := fmt.Sprintf("recovery/%s/%d/%d", inst.Addr(), issuer, op)
+			t0 := time.Now()
+			err := inst.Forward(self, target, RPCStormPut,
+				&stormArgs{Key: key, Val: []byte("v")}, nil)
+			recovery.record(key, err == nil, time.Since(t0))
+			self.Sleep(cfg.RecoveryPace)
+		}
+	})
+	res.RecoveryOps = recovery.ops
+	res.RecoveryAcked = uint64(len(recovery.acked))
+	res.RecoveryP99 = recovery.lat.Percentile(99)
+
+	cluster.WaitIdle(10 * time.Second)
+	time.Sleep(20 * time.Millisecond) // let target completion callbacks land
+	res.WallTime = time.Since(start)
+
+	// Never-lie audit: every key a client saw acknowledged must be in
+	// the store. An ack only leaves the handler after the put committed,
+	// so any miss here is an acked-then-lost bug. (The cluster is idle;
+	// the map is quiescent.)
+	for _, key := range storm.acked {
+		if !store.keys[key] {
+			res.LostAcked++
+		}
+	}
+	for _, key := range recovery.acked {
+		if !store.keys[key] {
+			res.LostAcked++
+		}
+	}
+
+	// Decision counters, gathered while everything is still up.
+	st := server.OverloadStats()
+	res.Shed, res.Expired = st.Shed, st.Expired
+	res.QueueHWM = server.HandlerPool().SizeHighWatermark()
+	for _, inst := range clients {
+		cs := inst.OverloadStats()
+		res.BreakerTrips += cs.BreakerTrips
+		res.BreakerFastFails += cs.BreakerFastFails
+		rs := inst.RetryStats()
+		res.Retries += rs.Retries
+		res.Exhausted += rs.Exhausted
+	}
+
+	if res.MetricsAddr != "" {
+		// Force a fresh sample on every instance, then render the
+		// exposition so the scrape reflects the post-storm counters.
+		for _, s := range cluster.Exposer().Samplers() {
+			s.SampleOnce()
+		}
+		var b strings.Builder
+		cluster.Exposer().WriteMetrics(&b)
+		res.MetricsText = b.String()
+	}
+
+	// Profile and trace visibility of the decisions.
+	profiles, traceDumps := cluster.Collect()
+	for _, p := range profiles {
+		if p.Entity == target {
+			res.ServerPVars = p.PVars
+		}
+	}
+	ts := analysis.MergeTraces(traceDumps)
+	for id, evs := range ts.Requests() {
+		for _, sp := range analysis.SpansOf(id, evs) {
+			if sp.Kind == "SERVER" && sp.Failed {
+				res.FailedServerSpans++
+			}
+		}
+	}
+
+	// Graceful drain ends the run: clients quiesce first, then the
+	// provider stops admitting, finishes in-flight handlers, flushes
+	// sinks, and tears down.
+	res.DrainErr = cluster.Drain(cfg.DrainTimeout)
+	shutdown = false
+	return res, nil
+}
+
+// runPhase runs fn on every (client, issuer) pair as application ULTs
+// and joins them.
+func runPhase(clients []*margo.Instance, issuers int, name string, fn func(self *abt.ULT, inst *margo.Instance, issuer int)) {
+	var wg sync.WaitGroup
+	for _, inst := range clients {
+		for k := 0; k < issuers; k++ {
+			wg.Add(1)
+			inst, k := inst, k
+			inst.Run(fmt.Sprintf("%s-%d", name, k), func(self *abt.ULT) {
+				defer wg.Done()
+				fn(self, inst, k)
+			})
+		}
+	}
+	wg.Wait()
+}

@@ -1,12 +1,15 @@
 package margo
 
 import (
+	"context"
 	"errors"
+	"sort"
 	"strings"
 	"testing"
 	"time"
 
 	"symbiosys/internal/abt"
+	"symbiosys/internal/analysis"
 	"symbiosys/internal/core"
 	"symbiosys/internal/mercury"
 )
@@ -170,5 +173,202 @@ func TestCancelPostedSweepsTarget(t *testing.T) {
 		if !errors.Is(errs[i], mercury.ErrCanceled) {
 			t.Fatalf("rpc %d err = %v", i, errs[i])
 		}
+	}
+}
+
+// TestDrainWaitsForInflightAndShedsNew: Drain must stop admitting new
+// requests immediately (they shed with ErrOverloaded) while the
+// in-flight handler runs to completion and gets its response out — the
+// graceful half of graceful drain.
+func TestDrainWaitsForInflightAndShedsNew(t *testing.T) {
+	c := newCluster(t)
+	srv := c.add(t, Options{Mode: ModeServer, Node: "n1", Name: "srv"})
+	cli := c.add(t, Options{Mode: ModeClient, Node: "n0", Name: "cli"})
+
+	gate := abt.NewEventual()
+	srv.Register("slow_rpc", func(ctx *Context) {
+		gate.Wait(ctx.Self)
+		ctx.Respond(mercury.Void{})
+	})
+	cli.RegisterClient("slow_rpc")
+
+	// Park one handler mid-request.
+	var inflightErr error
+	inflight := cli.Run("inflight", func(self *abt.ULT) {
+		inflightErr = cli.Forward(self, srv.Addr(), "slow_rpc", &mercury.Void{}, nil)
+	})
+	waitFor(t, func() bool { return srv.HandlersInFlight() == 1 })
+
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- srv.Drain(context.Background()) }()
+	waitFor(t, func() bool { return srv.Draining() })
+
+	// A request arriving during the drain is shed, not queued.
+	if err := call(t, cli, func(self *abt.ULT) error {
+		return cli.Forward(self, srv.Addr(), "slow_rpc", &mercury.Void{}, nil)
+	}); !errors.Is(err, mercury.ErrOverloaded) {
+		t.Fatalf("forward during drain: %v, want ErrOverloaded", err)
+	}
+
+	// The drain must still be waiting on the parked handler.
+	select {
+	case err := <-drainDone:
+		t.Fatalf("drain completed with handler in flight: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Release the handler: the in-flight request completes successfully
+	// and the drain finishes clean.
+	gate.Set(nil)
+	if err := inflight.Join(nil); err != nil {
+		t.Fatalf("inflight ULT: %v", err)
+	}
+	if inflightErr != nil {
+		t.Fatalf("in-flight forward across drain: %v", inflightErr)
+	}
+	select {
+	case err := <-drainDone:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("drain did not complete after handler finished")
+	}
+}
+
+// TestHandlerPanicDuringDrain: a handler that panics while the instance
+// is draining must not wedge the drain — the panic-recovery path still
+// responds (an error, flagged Failed), the in-flight count drops, and
+// Drain completes.
+func TestHandlerPanicDuringDrain(t *testing.T) {
+	c := newCluster(t)
+	srv := c.add(t, Options{Mode: ModeServer, Node: "n1", Name: "srv"})
+	cli := c.add(t, Options{Mode: ModeClient, Node: "n0", Name: "cli"})
+
+	gate := abt.NewEventual()
+	srv.Register("doomed_rpc", func(ctx *Context) {
+		gate.Wait(ctx.Self)
+		panic("backend exploded mid-drain")
+	})
+	cli.RegisterClient("doomed_rpc")
+
+	var fwdErr error
+	fwd := cli.Run("doomed", func(self *abt.ULT) {
+		fwdErr = cli.Forward(self, srv.Addr(), "doomed_rpc", &mercury.Void{}, nil)
+	})
+	waitFor(t, func() bool { return srv.HandlersInFlight() == 1 })
+
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- srv.Drain(context.Background()) }()
+	waitFor(t, func() bool { return srv.Draining() })
+
+	gate.Set(nil) // handler resumes and panics while draining
+	if err := fwd.Join(nil); err != nil {
+		t.Fatalf("client ULT: %v", err)
+	}
+	if fwdErr == nil || !strings.Contains(fwdErr.Error(), "panicked") {
+		t.Fatalf("forward to panicking handler: %v, want handler-panic error", fwdErr)
+	}
+	select {
+	case err := <-drainDone:
+		if err != nil {
+			t.Fatalf("drain after handler panic: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("drain wedged by panicking handler")
+	}
+}
+
+// TestShedRequestStitchesSingleFailedTrace: a shed decision must close
+// its trace span — exactly one Failed SERVER span per shed request, no
+// dangling EvTargetStart — so symtrace renders rejections instead of
+// losing them.
+func TestShedRequestStitchesSingleFailedTrace(t *testing.T) {
+	c := newCluster(t)
+	srv := c.add(t, Options{Mode: ModeServer, Node: "n1", Name: "srv", Stage: core.StageFull,
+		Overload: &OverloadPolicy{MaxInFlight: 1, SoftWatermark: 100, HardWatermark: 200}})
+	cli := c.add(t, Options{Mode: ModeClient, Node: "n0", Name: "cli", Stage: core.StageFull})
+
+	gate := abt.NewEventual()
+	srv.Register("occupied_rpc", func(ctx *Context) {
+		gate.Wait(ctx.Self)
+		ctx.Respond(mercury.Void{})
+	})
+	cli.RegisterClient("occupied_rpc")
+
+	// Occupy the single admission slot, then let a second request hit
+	// the MaxInFlight cap deterministically.
+	occupied := cli.Run("occupier", func(self *abt.ULT) {
+		cli.Forward(self, srv.Addr(), "occupied_rpc", &mercury.Void{}, nil)
+	})
+	waitFor(t, func() bool { return srv.HandlersInFlight() == 1 })
+	if err := call(t, cli, func(self *abt.ULT) error {
+		return cli.Forward(self, srv.Addr(), "occupied_rpc", &mercury.Void{}, nil)
+	}); !errors.Is(err, mercury.ErrOverloaded) {
+		t.Fatalf("forward over MaxInFlight: %v, want ErrOverloaded", err)
+	}
+	gate.Set(nil)
+	if err := occupied.Join(nil); err != nil {
+		t.Fatalf("occupier ULT: %v", err)
+	}
+
+	// Merge both sides' events and find the shed request: it has a
+	// Failed SERVER span on the target.
+	evs := append(cli.Profiler().TraceEvents(), srv.Profiler().TraceEvents()...)
+	byReq := make(map[uint64][]core.Event)
+	for _, e := range evs {
+		byReq[e.RequestID] = append(byReq[e.RequestID], e)
+	}
+	shedReqs := 0
+	for id, revs := range byReq {
+		sort.SliceStable(revs, func(i, j int) bool { return revs[i].Order < revs[j].Order })
+		starts, ends, failedEnds := 0, 0, 0
+		for _, e := range revs {
+			switch e.Kind {
+			case core.EvTargetStart:
+				starts++
+			case core.EvTargetEnd:
+				ends++
+				if e.Failed {
+					failedEnds++
+				}
+			}
+		}
+		if failedEnds == 0 {
+			continue
+		}
+		shedReqs++
+		// The rejection pairs exactly: one start, one Failed end.
+		if starts != 1 || ends != 1 {
+			t.Errorf("request %d: %d target starts / %d ends, want 1/1", id, starts, ends)
+		}
+		spans := analysis.SpansOf(id, revs)
+		server := 0
+		for _, sp := range spans {
+			if sp.Kind == "SERVER" {
+				server++
+				if !sp.Failed {
+					t.Errorf("request %d: shed SERVER span not Failed", id)
+				}
+			}
+		}
+		if server != 1 {
+			t.Errorf("request %d: %d SERVER spans, want exactly 1", id, server)
+		}
+	}
+	if shedReqs != 1 {
+		t.Fatalf("%d requests with Failed server spans, want 1 (the shed one)", shedReqs)
+	}
+}
+
+// waitFor polls cond for up to 2s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 2s")
+		}
+		time.Sleep(200 * time.Microsecond)
 	}
 }

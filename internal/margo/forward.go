@@ -44,19 +44,45 @@ type forwardResult struct {
 // delay) are sampled off the Mercury handle at t14 and fused into the
 // same profile entry (paper §IV-C).
 func (i *Instance) Forward(self *abt.ULT, target, rpcName string, in, out mercury.Procable) error {
-	return i.forward(self, target, rpcName, in, out, 0)
+	return i.forward(self, target, rpcName, in, out, ForwardOpts{})
 }
 
 // ForwardTimeout is Forward with a deadline: if no response arrives
 // within d the handle is canceled and the call returns
 // mercury.ErrCanceled. Use it against services that may have failed
 // after receiving the request (a send failure is already reported
-// without a timeout).
+// without a timeout). The timeout stays client-side: nothing extra is
+// stamped on the wire (use ForwardEx to propagate a deadline).
 func (i *Instance) ForwardTimeout(self *abt.ULT, target, rpcName string, in, out mercury.Procable, d time.Duration) error {
-	return i.forward(self, target, rpcName, in, out, d)
+	return i.forward(self, target, rpcName, in, out, ForwardOpts{Timeout: d})
 }
 
-func (i *Instance) forward(self *abt.ULT, target, rpcName string, in, out mercury.Procable, timeout time.Duration) error {
+// ForwardOpts carries the per-call options of ForwardEx.
+type ForwardOpts struct {
+	// Timeout bounds the whole call client-side (like ForwardTimeout).
+	Timeout time.Duration
+	// Deadline, when non-zero, is stamped into the wire header as the
+	// request's absolute deadline: the target rejects the request with
+	// mercury.ErrDeadlineExpired if it passes before a handler runs,
+	// and handlers propagate it onto their nested forwards. It also
+	// bounds the call client-side, like Timeout.
+	Deadline time.Time
+	// Priority is the request's admission class (see
+	// OverloadPolicy.HighPriority); zero inherits the servicing
+	// handler's priority, if any.
+	Priority uint8
+}
+
+// ForwardEx is Forward with explicit overload-control options: a
+// propagated absolute deadline and an admission priority. A handler
+// issuing nested forwards inherits its own request's deadline and
+// priority automatically even through plain Forward; ForwardEx is how
+// the first hop stamps them.
+func (i *Instance) ForwardEx(self *abt.ULT, target, rpcName string, in, out mercury.Procable, opts ForwardOpts) error {
+	return i.forward(self, target, rpcName, in, out, opts)
+}
+
+func (i *Instance) forward(self *abt.ULT, target, rpcName string, in, out mercury.Procable, opts ForwardOpts) error {
 	if self == nil {
 		return fmt.Errorf("margo: Forward requires the calling ULT")
 	}
@@ -80,14 +106,45 @@ func (i *Instance) forward(self *abt.ULT, target, rpcName string, in, out mercur
 		reqID = i.prof.NewRequestID()
 	}
 
+	// Resolve the wire deadline and priority: explicit options win, then
+	// the ULT-local values a servicing handler inherited from its own
+	// request — so a multi-tier request carries one absolute deadline
+	// across every hop.
+	var dlNanos int64
+	if !opts.Deadline.IsZero() {
+		dlNanos = opts.Deadline.UnixNano()
+	} else if v, ok := self.Local(keyDeadline{}); ok {
+		dlNanos = v.(int64)
+	}
+	prio := opts.Priority
+	if prio == 0 {
+		if v, ok := self.Local(keyPriority{}); ok {
+			prio = v.(uint8)
+		}
+	}
+
 	// One in-flight slot per logical forward, however many attempts it
 	// takes; the deferred decrement cannot be lost to an early return.
 	i.rpcsInFlight.Add(1)
 	defer i.rpcsInFlight.Add(-1)
 
+	timeout := opts.Timeout
+	if dlNanos != 0 {
+		// The propagated deadline also bounds the call client-side:
+		// waiting past it can only return an expiry.
+		remaining := time.Until(time.Unix(0, dlNanos))
+		if timeout <= 0 || remaining < timeout {
+			timeout = remaining
+		}
+		if timeout <= 0 {
+			i.exhaustedTotal.Add(1)
+			return exhausted(ErrDeadlineExceeded, rpcName, target, 0, mercury.ErrDeadlineExpired)
+		}
+	}
+
 	rs := i.retry
 	if rs == nil {
-		err, _ := i.forwardOnce(self, target, rpcName, in, out, timeout, stage, bc, reqID)
+		err, _ := i.forwardOnce(self, target, rpcName, in, out, timeout, stage, bc, reqID, dlNanos, prio)
 		return err
 	}
 
@@ -97,6 +154,7 @@ func (i *Instance) forward(self *abt.ULT, target, rpcName string, in, out mercur
 		// attempt sequence; PerTryTimeout bounds each attempt within it.
 		deadline = time.Now().Add(timeout)
 	}
+	br := i.breakerFor(target, rpcName)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		tryTimeout := rs.pol.PerTryTimeout
@@ -110,7 +168,20 @@ func (i *Instance) forward(self *abt.ULT, target, rpcName string, in, out mercur
 				tryTimeout = remaining
 			}
 		}
-		err, timedOut := i.forwardOnce(self, target, rpcName, in, out, tryTimeout, stage, bc, reqID)
+		var err error
+		var timedOut bool
+		if br != nil && !br.allow(time.Now()) {
+			// Open circuit: refuse locally without touching the network.
+			// The error is retryable, so the backoff below waits out the
+			// cooldown and a later attempt becomes the half-open probe.
+			i.breakerFastFailsTotal.Add(1)
+			err = fmt.Errorf("%w: %s to %s", ErrCircuitOpen, rpcName, target)
+		} else {
+			err, timedOut = i.forwardOnce(self, target, rpcName, in, out, tryTimeout, stage, bc, reqID, dlNanos, prio)
+			if br != nil && br.record(time.Now(), err != nil, overloadClass(err, timedOut)) {
+				i.breakerTripsTotal.Add(1)
+			}
+		}
 		if err == nil {
 			rs.success()
 			return nil
@@ -144,7 +215,7 @@ func (i *Instance) forward(self *abt.ULT, target, rpcName string, in, out mercur
 // that this attempt's own per-try timer (not an external CancelPosted)
 // canceled the handle — the disambiguation the retry classifier needs,
 // since both surface as mercury.ErrCanceled.
-func (i *Instance) forwardOnce(self *abt.ULT, target, rpcName string, in, out mercury.Procable, timeout time.Duration, stage core.Stage, bc core.Breadcrumb, reqID uint64) (error, bool) {
+func (i *Instance) forwardOnce(self *abt.ULT, target, rpcName string, in, out mercury.Procable, timeout time.Duration, stage core.Stage, bc core.Breadcrumb, reqID uint64, dlNanos int64, prio uint8) (error, bool) {
 	mh, err := i.hg.Create(target, rpcName)
 	if err != nil {
 		return err, false
@@ -160,6 +231,10 @@ func (i *Instance) forwardOnce(self *abt.ULT, target, rpcName string, in, out me
 			Order:      i.prof.Clock.Tick(),
 		}
 	}
+	// Deadline and priority are control-plane state, stamped regardless
+	// of the measurement stage.
+	meta.DeadlineNanos = dlNanos
+	meta.Priority = prio
 
 	t1 := time.Now()
 	if stage.Measures() {

@@ -45,6 +45,18 @@ func (c *Context) Breadcrumb() core.Breadcrumb { return c.bc }
 // RequestID returns the distributed request ID carried by the request.
 func (c *Context) RequestID() uint64 { return c.reqID }
 
+// Deadline returns the absolute deadline propagated with the request,
+// or the zero time when none was stamped.
+func (c *Context) Deadline() time.Time {
+	if dl := c.mh.Meta().DeadlineNanos; dl != 0 {
+		return time.Unix(0, dl)
+	}
+	return time.Time{}
+}
+
+// Priority returns the request's admission priority class.
+func (c *Context) Priority() uint8 { return c.mh.Meta().Priority }
+
 // GetInput decodes the request arguments (charging the
 // input_deserialization_time PVAR, t6→t7).
 func (c *Context) GetInput(v mercury.Procable) error { return c.mh.GetInput(v) }
@@ -174,9 +186,19 @@ func (i *Instance) Register(rpcName string, fn HandlerFunc) error {
 		return err
 	}
 	return i.hg.Register(rpcName, func(mh *mercury.Handle) {
-		// Running in the progress ULT's Trigger pass: spawn the handler
-		// ULT (t4) and return immediately.
+		// Running in the progress ULT's Trigger pass. Admission control
+		// happens here, before a handler ULT exists: the progress ULT is
+		// the single spawner, so the verdict and the in-flight increment
+		// cannot race with another admission. Refused requests are
+		// answered immediately (t4) instead of queueing.
+		if v := i.admitVerdict(mh.Meta()); v != admitOK {
+			i.rejectRequest(mh, rpcName, v)
+			return
+		}
+		i.handlersInFlight.Add(1)
+		// Spawn the handler ULT (t4) and return immediately.
 		i.handlerPool.Create(rpcName, func(self *abt.ULT) {
+			defer i.handlersInFlight.Add(-1)
 			i.runHandler(self, mh, rpcName, fn)
 		})
 	})
@@ -204,6 +226,15 @@ func (i *Instance) runHandler(self *abt.ULT, mh *mercury.Handle, rpcName string,
 		self.SetLocal(keyRequestID{}, ctx.reqID)
 		i.prof.Clock.Merge(meta.Order)
 	}
+	if meta.DeadlineNanos != 0 {
+		// Propagate the absolute deadline (and priority) to nested
+		// forwards, so every hop of a multi-tier request can make the
+		// same drop/serve decision against the same clock.
+		self.SetLocal(keyDeadline{}, meta.DeadlineNanos)
+	}
+	if meta.Priority != 0 {
+		self.SetLocal(keyPriority{}, meta.Priority)
+	}
 
 	if stage.Measures() {
 		ev := core.Event{
@@ -224,6 +255,19 @@ func (i *Instance) runHandler(self *abt.ULT, mh *mercury.Handle, rpcName string,
 		// the t8/t13 measurements — the PVAR samples fused above ride
 		// the same shard rather than a side channel.
 		i.prof.EmitAt(self.ID(), ev)
+	}
+
+	if meta.DeadlineNanos != 0 && time.Now().UnixNano() > meta.DeadlineNanos {
+		// The deadline passed while the request waited in the handler
+		// pool (t4→t5): the origin has given up, so executing the
+		// handler would burn the execution stream on doomed work. The
+		// EvTargetStart above plus finish's Failed EvTargetEnd close the
+		// span, showing the queue wait that killed the request.
+		i.expiredTotal.Add(1)
+		_ = ctx.finish(true, func(m mercury.Meta, cb func(error)) error {
+			return mh.RespondExpired(m, cb)
+		})
+		return
 	}
 
 	func() {

@@ -34,6 +34,9 @@ const (
 	PVarNumRPCRetries          = "num_rpc_retries"
 	PVarNumRPCTimeouts         = "num_rpc_timeouts"
 	PVarNumRPCRetriesExhausted = "num_rpc_retries_exhausted"
+	PVarNumRequestsShed        = "num_requests_shed"
+	PVarNumRequestsExpired     = "num_requests_expired"
+	PVarNumBreakerTrips        = "num_breaker_trips"
 )
 
 // Mode selects client or server behaviour for an instance.
@@ -103,6 +106,13 @@ type Options struct {
 	// in via MarkIdempotent. Nil (the default) keeps the historical
 	// single-attempt semantics.
 	Retry *RetryPolicy
+
+	// Overload, when non-nil, enables server-side admission control:
+	// requests arriving while the handler pool is past the policy's
+	// watermarks (or while the instance drains) are shed at dispatch
+	// with mercury.ErrOverloaded instead of queueing unboundedly. Nil
+	// (the default) admits unconditionally.
+	Overload *OverloadPolicy
 }
 
 func (o *Options) fillDefaults() {
@@ -157,6 +167,23 @@ type Instance struct {
 	// it from policy goroutines, so it lives outside opts.
 	handlerStreams atomic.Int64
 
+	// Server-side overload-control state (Options.Overload): the
+	// admission policy, the draining flag Drain raises, the
+	// admitted-but-unfinished handler count, and the shed/expired
+	// lifetime counters exported as PVARs and telemetry series.
+	overload         *OverloadPolicy
+	draining         atomic.Bool
+	handlersInFlight atomic.Int64
+	shedTotal        atomic.Uint64
+	expiredTotal     atomic.Uint64
+
+	// Client-side circuit breakers (RetryPolicy.Breaker), one per
+	// (target, RPC) pair, with their lifetime counters.
+	breakerMu             sync.Mutex
+	breakers              map[breakerKey]*breaker
+	breakerTripsTotal     atomic.Uint64
+	breakerFastFailsTotal atomic.Uint64
+
 	sampler *telemetry.Sampler
 }
 
@@ -166,6 +193,11 @@ type Instance struct {
 type (
 	keyBreadcrumb struct{}
 	keyRequestID  struct{}
+	// keyDeadline / keyPriority carry the overload-control fields across
+	// hops the same way: a handler servicing a deadline-stamped request
+	// stamps the same absolute deadline onto its nested forwards.
+	keyDeadline struct{}
+	keyPriority struct{}
 )
 
 // New creates and starts an instance: endpoint, Mercury class, Argobots
@@ -216,6 +248,10 @@ func New(opts Options) (*Instance, error) {
 	if opts.Retry != nil {
 		inst.retry = newRetryState(*opts.Retry)
 	}
+	if opts.Overload != nil {
+		pol := opts.Overload.withDefaults()
+		inst.overload = &pol
+	}
 	// Export margo's own resilience counters through the same PVAR
 	// registry as the Mercury library variables, so they reach tools via
 	// the session interface and the telemetry sampler alike.
@@ -228,7 +264,30 @@ func New(opts Options) (*Instance, error) {
 	inst.hg.PVars().RegisterGlobal(PVarNumRPCRetriesExhausted,
 		"forwards abandoned after exhausting attempts, deadline, or retry budget",
 		pvar.ClassCounter, inst.exhaustedTotal.Load)
+	inst.hg.PVars().RegisterGlobal(PVarNumRequestsShed,
+		"incoming requests shed by admission control (watermarks or draining)",
+		pvar.ClassCounter, inst.shedTotal.Load)
+	inst.hg.PVars().RegisterGlobal(PVarNumRequestsExpired,
+		"incoming requests rejected because their propagated deadline passed",
+		pvar.ClassCounter, inst.expiredTotal.Load)
+	inst.hg.PVars().RegisterGlobal(PVarNumBreakerTrips,
+		"circuit breaker closed-to-open transitions on the client side",
+		pvar.ClassCounter, inst.breakerTripsTotal.Load)
 	inst.initPVarSession()
+	// Profile dumps carry the resilience/overload totals alongside the
+	// callpath stats. The closure reads the atomics directly (not the
+	// PVAR session) so dumps taken after Shutdown finalized the session
+	// still see the final values.
+	inst.prof.SetPVarSnapshot(func() map[string]uint64 {
+		return map[string]uint64{
+			PVarNumRPCRetries:          inst.retriesTotal.Load(),
+			PVarNumRPCTimeouts:         inst.timeoutsTotal.Load(),
+			PVarNumRPCRetriesExhausted: inst.exhaustedTotal.Load(),
+			PVarNumRequestsShed:        inst.shedTotal.Load(),
+			PVarNumRequestsExpired:     inst.expiredTotal.Load(),
+			PVarNumBreakerTrips:        inst.breakerTripsTotal.Load(),
+		}
+	})
 	inst.progressULT = inst.progressPool.Create("margo-progress", inst.progressLoop)
 	if opts.Telemetry != nil {
 		inst.sampler = telemetry.NewSampler(inst, *opts.Telemetry)
@@ -366,6 +425,9 @@ func (i *Instance) initPVarSession() {
 		PVarNumRPCRetries,
 		PVarNumRPCTimeouts,
 		PVarNumRPCRetriesExhausted,
+		PVarNumRequestsShed,
+		PVarNumRequestsExpired,
+		PVarNumBreakerTrips,
 	} {
 		h, err := i.session.AllocHandleByName(name)
 		if err != nil {

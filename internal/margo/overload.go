@@ -1,0 +1,210 @@
+package margo
+
+import (
+	"context"
+	"time"
+
+	"symbiosys/internal/core"
+	"symbiosys/internal/mercury"
+)
+
+// OverloadPolicy is the server-side admission-control configuration
+// (Options.Overload). The paper's C2 configuration saturates because an
+// undersized handler pool queues requests unboundedly; this policy
+// bounds that queue: when the handler pool's runnable depth or the
+// in-flight handler count crosses a watermark, new requests are shed at
+// dispatch (t4) with a typed, retryable rejection instead of being
+// buried in the queue. Shedding happens to the *newest* requests first
+// (the ones just arriving), CoDel-style: requests already admitted keep
+// their execution streams and drain the backlog.
+type OverloadPolicy struct {
+	// SoftWatermark is the handler-pool runnable depth at which requests
+	// below HighPriority are shed. Default 64.
+	SoftWatermark int
+	// HardWatermark is the depth at which all requests are shed
+	// regardless of priority. Default 2×SoftWatermark.
+	HardWatermark int
+	// MaxInFlight caps admitted-but-unfinished handlers; at or above the
+	// cap every new request is shed. Zero means no cap. This is the
+	// deterministic knob tests use: unlike queue depth it does not race
+	// with how fast execution streams drain.
+	MaxInFlight int
+	// HighPriority is the priority class that survives the soft
+	// watermark (only the hard watermark sheds it). Default 128.
+	HighPriority uint8
+}
+
+func (p OverloadPolicy) withDefaults() OverloadPolicy {
+	if p.SoftWatermark <= 0 {
+		p.SoftWatermark = 64
+	}
+	if p.HardWatermark <= 0 {
+		p.HardWatermark = 2 * p.SoftWatermark
+	}
+	if p.HighPriority == 0 {
+		p.HighPriority = 128
+	}
+	return p
+}
+
+// DefaultOverloadPolicy is the policy the overload experiments install.
+func DefaultOverloadPolicy() OverloadPolicy {
+	return OverloadPolicy{}.withDefaults()
+}
+
+// admission is the dispatch-time verdict for one incoming request.
+type admission int
+
+const (
+	admitOK admission = iota
+	admitShed
+	admitExpired
+)
+
+// admitVerdict decides, in the progress ULT at dispatch time (t4),
+// whether an incoming request gets a handler ULT. Draining instances
+// shed everything; expired deadlines are rejected before any queueing;
+// otherwise the overload policy's watermarks apply.
+func (i *Instance) admitVerdict(meta mercury.Meta) admission {
+	if i.draining.Load() {
+		return admitShed
+	}
+	if meta.DeadlineNanos != 0 && time.Now().UnixNano() > meta.DeadlineNanos {
+		return admitExpired
+	}
+	ol := i.overload
+	if ol == nil {
+		return admitOK
+	}
+	if ol.MaxInFlight > 0 && i.handlersInFlight.Load() >= int64(ol.MaxInFlight) {
+		return admitShed
+	}
+	depth := int(i.handlerPool.Runnable())
+	if depth >= ol.HardWatermark {
+		return admitShed
+	}
+	if depth >= ol.SoftWatermark && meta.Priority < ol.HighPriority {
+		return admitShed
+	}
+	return admitOK
+}
+
+// rejectRequest answers a request the admission check refused, without
+// spawning a handler ULT. It runs in the progress ULT's Trigger pass.
+// The decision is visible three ways: the shed/expired counter (PVAR +
+// telemetry), a start/end trace-event pair with Failed set (so symtrace
+// spans show *why* the request died instead of dangling), and the typed
+// response status the origin maps back to ErrOverloaded /
+// ErrDeadlineExpired.
+func (i *Instance) rejectRequest(mh *mercury.Handle, rpcName string, verdict admission) {
+	meta := mh.Meta()
+	stage := i.prof.Stage()
+
+	respMeta := mercury.Meta{}
+	if stage.Injects() && meta.HasTrace {
+		i.prof.Clock.Merge(meta.Order)
+		respMeta = mercury.Meta{HasTrace: true, Order: i.prof.Clock.Tick()}
+	}
+
+	if stage.Measures() {
+		now := time.Now()
+		base := core.Event{
+			RequestID:  meta.RequestID,
+			Order:      respMeta.Order,
+			Kind:       core.EvTargetStart,
+			Timestamp:  i.prof.StampNanos(now),
+			Entity:     i.Addr(),
+			Peer:       mh.Peer(),
+			RPCName:    rpcName,
+			Breadcrumb: meta.Breadcrumb,
+			Sys:        i.sysSample(i.handlerPool),
+		}
+		// Both halves of the span are emitted here: SpansOf pairs a
+		// start with an end per (entity, breadcrumb, side), so a lone
+		// Failed end event would be dropped as unmatched.
+		i.prof.EmitAt(meta.RequestID, base)
+		end := base
+		end.Kind = core.EvTargetEnd
+		end.Duration = 0
+		end.Failed = true
+		i.prof.EmitAt(meta.RequestID, end)
+	}
+
+	switch verdict {
+	case admitExpired:
+		i.expiredTotal.Add(1)
+		_ = mh.RespondExpired(respMeta, nil)
+	default:
+		i.shedTotal.Add(1)
+		_ = mh.RespondOverloaded(respMeta, nil)
+	}
+}
+
+// Overload returns a copy of the active admission policy, or nil when
+// the instance admits unconditionally.
+func (i *Instance) Overload() *OverloadPolicy {
+	if i.overload == nil {
+		return nil
+	}
+	pol := *i.overload
+	return &pol
+}
+
+// Draining reports whether the instance has stopped admitting requests.
+func (i *Instance) Draining() bool { return i.draining.Load() }
+
+// HandlersInFlight reports admitted-but-unfinished handler ULTs.
+func (i *Instance) HandlersInFlight() int64 { return i.handlersInFlight.Load() }
+
+// OverloadStats is the instance's lifetime overload-control counters.
+type OverloadStats struct {
+	// Shed counts requests rejected by admission control (watermarks,
+	// in-flight cap, or draining).
+	Shed uint64
+	// Expired counts requests rejected because their propagated
+	// deadline had passed (at dispatch or at handler start).
+	Expired uint64
+	// BreakerTrips counts client-side circuit-breaker closed→open
+	// transitions.
+	BreakerTrips uint64
+	// BreakerFastFails counts forward attempts refused locally by an
+	// open breaker without touching the network.
+	BreakerFastFails uint64
+	// OpenBreakers is the number of (target, RPC) breakers currently
+	// not closed.
+	OpenBreakers int
+}
+
+// OverloadStats reports the instance's overload-control counters.
+func (i *Instance) OverloadStats() OverloadStats {
+	return OverloadStats{
+		Shed:             i.shedTotal.Load(),
+		Expired:          i.expiredTotal.Load(),
+		BreakerTrips:     i.breakerTripsTotal.Load(),
+		BreakerFastFails: i.breakerFastFailsTotal.Load(),
+		OpenBreakers:     i.openBreakers(),
+	}
+}
+
+// Drain gracefully quiesces the instance: it stops admitting new
+// requests (incoming RPCs are shed with ErrOverloaded so origins fail
+// over), waits for in-flight handlers and outbound forwards to finish,
+// then runs the full Shutdown sequence — sink flush, sampler stop, PVAR
+// session finalize, endpoint close. If ctx expires first the instance
+// is torn down anyway (in-flight work is abandoned) and ctx's error is
+// returned so callers know the drain was dirty.
+func (i *Instance) Drain(ctx context.Context) error {
+	i.draining.Store(true)
+	for i.handlersInFlight.Load() != 0 || i.rpcsInFlight.Load() != 0 {
+		select {
+		case <-ctx.Done():
+			serr := i.Shutdown()
+			if serr != nil {
+				return serr
+			}
+			return ctx.Err()
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+	return i.Shutdown()
+}

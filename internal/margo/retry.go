@@ -50,6 +50,12 @@ type RetryPolicy struct {
 	BudgetRefill float64
 	// Seed drives the deterministic jitter stream. Default 1.
 	Seed uint64
+	// Breaker, when non-nil, adds a per-(target, RPC) circuit breaker
+	// in front of every attempt: consecutive overload-class failures
+	// (sheds, deadline rejections, timeouts, fabric partitions) trip it
+	// open, after which attempts fast-fail locally with ErrCircuitOpen
+	// until a half-open probe succeeds. Nil (the default) disables it.
+	Breaker *BreakerPolicy
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -206,6 +212,14 @@ func (i *Instance) retryable(err error, timedOut bool, rpcName string) bool {
 		// The request may have reached (and executed at) the target;
 		// only re-issue when re-execution is declared safe.
 		return i.Idempotent(rpcName)
+	}
+	// Overload sheds happen before any handler ran, so the request had
+	// no effect and any RPC may retry; an open breaker is retryable for
+	// the same reason (nothing was sent), letting the backoff wait out
+	// the cooldown. Deadline expiries are NOT retryable: the deadline is
+	// absolute, so a retry would only be rejected again.
+	if errors.Is(err, mercury.ErrOverloaded) || errors.Is(err, ErrCircuitOpen) {
+		return true
 	}
 	// Send-path failures the fabric reported before delivery: the target
 	// never saw the request, so retrying is safe for any RPC.

@@ -431,3 +431,130 @@ type failSink struct{ err error }
 
 func (f failSink) WriteEvent(core.Event) error { return f.err }
 func (f failSink) Flush() error                { return f.err }
+
+// TestBreakerTripsOnPartition: fabric partition errors (the na EvError
+// path) count toward the circuit breaker exactly like ErrOverloaded
+// sheds — Threshold consecutive partitioned sends trip it open, further
+// forwards fast-fail locally with ErrCircuitOpen, and after the cooldown
+// a half-open probe against the healed link closes it again.
+func TestBreakerTripsOnPartition(t *testing.T) {
+	c := newCluster(t)
+	srv := c.add(t, Options{Mode: ModeServer, Node: "n1", Name: "srv"})
+	cli := c.add(t, Options{Mode: ModeClient, Node: "n0", Name: "cli",
+		Retry: noJitter(RetryPolicy{
+			MaxAttempts: 1, // one attempt per Forward: each call is one breaker record
+			Breaker:     &BreakerPolicy{Threshold: 3, Cooldown: 40 * time.Millisecond},
+		})})
+
+	srv.Register("part_rpc", func(ctx *Context) { ctx.Respond(mercury.Void{}) })
+	cli.RegisterClient("part_rpc")
+
+	fwd := func() error {
+		return call(t, cli, func(self *abt.ULT) error {
+			return cli.Forward(self, srv.Addr(), "part_rpc", &mercury.Void{}, nil)
+		})
+	}
+
+	// Healthy baseline keeps the circuit closed.
+	if err := fwd(); err != nil {
+		t.Fatalf("clean forward: %v", err)
+	}
+	if st := cli.BreakerState(srv.Addr(), "part_rpc"); st != "closed" {
+		t.Fatalf("breaker %s after success, want closed", st)
+	}
+
+	// Threshold consecutive partition failures trip the circuit.
+	c.fabric.SetFaultPlan(na.NewFaultPlan(1).PartitionOneWay(cli.Addr(), srv.Addr()))
+	for i := 0; i < 3; i++ {
+		if err := fwd(); !errors.Is(err, na.ErrPartitioned) {
+			t.Fatalf("forward %d under partition: %v, want ErrPartitioned", i, err)
+		}
+	}
+	if st := cli.BreakerState(srv.Addr(), "part_rpc"); st != "open" {
+		t.Fatalf("breaker %s after %d partition failures, want open", st, 3)
+	}
+	if trips := cli.OverloadStats().BreakerTrips; trips != 1 {
+		t.Fatalf("BreakerTrips = %d, want 1", trips)
+	}
+
+	// While open, forwards fast-fail locally without touching the wire.
+	if err := fwd(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("forward on open circuit: %v, want ErrCircuitOpen", err)
+	}
+	if ff := cli.OverloadStats().BreakerFastFails; ff == 0 {
+		t.Fatal("no fast-fails recorded on an open circuit")
+	}
+
+	// Heal the link; after the cooldown a half-open probe closes it.
+	c.fabric.SetFaultPlan(nil)
+	time.Sleep(50 * time.Millisecond)
+	if err := fwd(); err != nil {
+		t.Fatalf("probe after cooldown: %v", err)
+	}
+	if st := cli.BreakerState(srv.Addr(), "part_rpc"); st != "closed" {
+		t.Fatalf("breaker %s after successful probe, want closed", st)
+	}
+}
+
+// TestRetryWhileBreakerHalfOpen: with the circuit open and the provider
+// healthy again, concurrent forwards race into the half-open window.
+// Exactly one becomes the probe; the others fast-fail locally
+// (ErrCircuitOpen is retryable) and succeed on a later attempt once the
+// probe closes the circuit. Nobody gets stuck and nobody bypasses the
+// single-probe gate.
+func TestRetryWhileBreakerHalfOpen(t *testing.T) {
+	c := newCluster(t)
+	srv := c.add(t, Options{Mode: ModeServer, Node: "n1", Name: "srv"})
+	cli := c.add(t, Options{Mode: ModeClient, Node: "n0", Name: "cli",
+		Retry: noJitter(RetryPolicy{
+			MaxAttempts:    8,
+			InitialBackoff: 10 * time.Millisecond,
+			MaxBackoff:     20 * time.Millisecond,
+			Breaker:        &BreakerPolicy{Threshold: 2, Cooldown: 30 * time.Millisecond},
+		})})
+
+	srv.Register("half_open_rpc", func(ctx *Context) { ctx.Respond(mercury.Void{}) })
+	cli.RegisterClient("half_open_rpc")
+
+	// Trip the breaker with partition failures, then heal immediately:
+	// the provider is fine, only the circuit stands in the way.
+	c.fabric.SetFaultPlan(na.NewFaultPlan(1).PartitionOneWay(cli.Addr(), srv.Addr()))
+	err := call(t, cli, func(self *abt.ULT) error {
+		return cli.Forward(self, srv.Addr(), "half_open_rpc", &mercury.Void{}, nil)
+	})
+	if err == nil {
+		t.Fatal("forward under partition succeeded")
+	}
+	if st := cli.BreakerState(srv.Addr(), "half_open_rpc"); st != "open" {
+		t.Fatalf("breaker %s after partition failures, want open", st)
+	}
+	c.fabric.SetFaultPlan(nil)
+
+	// Race several forwards into the cooldown/half-open window. The
+	// retry loop must carry every one of them across the fast-fails.
+	const racers = 4
+	errs := make([]error, racers)
+	ults := make([]*abt.ULT, racers)
+	for k := 0; k < racers; k++ {
+		k := k
+		ults[k] = cli.Run("racer", func(self *abt.ULT) {
+			errs[k] = cli.Forward(self, srv.Addr(), "half_open_rpc", &mercury.Void{}, nil)
+		})
+	}
+	for _, u := range ults {
+		if err := u.Join(nil); err != nil {
+			t.Fatalf("racer ULT: %v", err)
+		}
+	}
+	for k, err := range errs {
+		if err != nil {
+			t.Errorf("racer %d: %v", k, err)
+		}
+	}
+	if st := cli.BreakerState(srv.Addr(), "half_open_rpc"); st != "closed" {
+		t.Fatalf("breaker %s after recovery, want closed", st)
+	}
+	if ff := cli.OverloadStats().BreakerFastFails; ff == 0 {
+		t.Fatal("no fast-fails: racers never hit the open/half-open gate")
+	}
+}

@@ -37,6 +37,14 @@ func (i *Instance) TelemetrySample() telemetry.Sample {
 		FaultDups:      i.ep.FaultDups(),
 		FaultDelays:    i.ep.FaultDelays(),
 		FaultRefusals:  i.ep.FaultRefusals(),
+
+		OverloadShed:     i.shedTotal.Load(),
+		OverloadExpired:  i.expiredTotal.Load(),
+		BreakerTrips:     i.breakerTripsTotal.Load(),
+		BreakerFastFails: i.breakerFastFailsTotal.Load(),
+		BreakerOpen:      i.openBreakers(),
+		AdmissionDepth:   i.handlersInFlight.Load(),
+		Draining:         i.draining.Load(),
 	}
 
 	sys := i.sys.Sample()

@@ -119,6 +119,11 @@ func (h *Handle) Forward(in Procable, meta Meta, cb ForwardCallback) error {
 		hdr.RequestID = meta.RequestID
 		hdr.Order = meta.Order
 	}
+	if meta.DeadlineNanos != 0 || meta.Priority != 0 {
+		hdr.Flags |= flagDeadline
+		hdr.DeadlineNanos = meta.DeadlineNanos
+		hdr.Priority = meta.Priority
+	}
 	eager := payload
 	if len(payload) > c.cfg.EagerLimit {
 		// Eager overflow: expose the tail for the target's internal
@@ -167,6 +172,10 @@ func (h *Handle) completeForward(err error) {
 			} else {
 				err = fmt.Errorf("%w: %s", ErrHandlerFail, h.rpcName)
 			}
+		case statusOverloaded:
+			err = fmt.Errorf("%w: %s", ErrOverloaded, h.rpcName)
+		case statusExpired:
+			err = fmt.Errorf("%w: %s", ErrDeadlineExpired, h.rpcName)
 		default:
 			err = fmt.Errorf("mercury: bad response status %d", h.respStatus)
 		}
@@ -221,6 +230,20 @@ func (h *Handle) Respond(out Procable, meta Meta, cb func(error)) error {
 func (h *Handle) RespondError(msg string, meta Meta, cb func(error)) error {
 	raw := RawBytes(msg)
 	return h.respondStatus(statusHandlerError, &raw, meta, cb)
+}
+
+// RespondOverloaded reports that the target's admission control shed
+// the request before any handler ran; the origin's Forward completes
+// with ErrOverloaded.
+func (h *Handle) RespondOverloaded(meta Meta, cb func(error)) error {
+	return h.respondStatus(statusOverloaded, nil, meta, cb)
+}
+
+// RespondExpired reports that the request's propagated deadline had
+// already passed when the target examined it; the origin's Forward
+// completes with ErrDeadlineExpired.
+func (h *Handle) RespondExpired(meta Meta, cb func(error)) error {
+	return h.respondStatus(statusExpired, nil, meta, cb)
 }
 
 func (h *Handle) respondStatus(status uint8, out Procable, meta Meta, cb func(error)) error {

@@ -30,6 +30,13 @@ var (
 	ErrHandlerFail = errors.New("mercury: remote handler failed")
 	ErrDestroyed   = errors.New("mercury: handle destroyed")
 	ErrRPCRegister = errors.New("mercury: RPC registration conflict")
+	// ErrOverloaded reports a request shed by the target's admission
+	// control before any handler ran. The operation had no effect and is
+	// safe to retry after backoff.
+	ErrOverloaded = errors.New("mercury: target overloaded, request shed")
+	// ErrDeadlineExpired reports a request the target rejected because
+	// its propagated deadline had already passed.
+	ErrDeadlineExpired = errors.New("mercury: request deadline expired at target")
 )
 
 // Config tunes a Mercury instance.
@@ -318,10 +325,12 @@ func (c *Class) handleRequest(msg *na.Message) {
 		target: c.Addr(),
 		isTgt:  true,
 		meta: Meta{
-			HasTrace:   hdr.Flags&flagTrace != 0,
-			Breadcrumb: hdr.Breadcrumb,
-			RequestID:  hdr.RequestID,
-			Order:      hdr.Order,
+			HasTrace:      hdr.Flags&flagTrace != 0,
+			Breadcrumb:    hdr.Breadcrumb,
+			RequestID:     hdr.RequestID,
+			Order:         hdr.Order,
+			DeadlineNanos: hdr.DeadlineNanos,
+			Priority:      hdr.Priority,
 		},
 		arrived: time.Now(),
 	}

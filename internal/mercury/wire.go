@@ -15,6 +15,11 @@ const (
 	// flagMore marks requests whose serialized input overflowed the
 	// eager buffer; the remainder is fetched by internal RDMA.
 	flagMore
+	// flagDeadline marks requests carrying overload-control metadata:
+	// an absolute completion deadline and a scheduling priority. Unlike
+	// the trace fields these are control-plane state, present whenever
+	// the origin set them regardless of the measurement stage.
+	flagDeadline
 )
 
 // Response status codes.
@@ -22,16 +27,32 @@ const (
 	statusOK uint8 = iota
 	statusUnknownRPC
 	statusHandlerError
+	// statusOverloaded reports a request shed by the target's admission
+	// control before a handler executed it (safe to retry elsewhere or
+	// after backoff).
+	statusOverloaded
+	// statusExpired reports a request rejected because its propagated
+	// deadline had already passed when the target examined it.
+	statusExpired
 )
 
 // Meta is the SYMBIOSYS metadata piggybacked on RPC messages: the 64-bit
-// callpath breadcrumb, the globally unique request ID, and the Lamport
-// order counter (paper §IV-A).
+// callpath breadcrumb, the globally unique request ID, the Lamport
+// order counter (paper §IV-A), and the overload-control fields
+// (absolute deadline, priority) every layer consults for drop/serve
+// decisions.
 type Meta struct {
 	HasTrace   bool
 	Breadcrumb uint64
 	RequestID  uint64
 	Order      uint64
+	// DeadlineNanos is the absolute request deadline (Unix nanoseconds);
+	// zero means no deadline. Targets reject requests whose deadline
+	// already passed instead of burning an execution stream on them.
+	DeadlineNanos int64
+	// Priority is the request's admission class: higher values survive
+	// load shedding longer (see margo.OverloadPolicy.HighPriority).
+	Priority uint8
 }
 
 // reqHeader is the request wire header.
@@ -42,6 +63,9 @@ type reqHeader struct {
 	Breadcrumb uint64
 	RequestID  uint64
 	Order      uint64
+	// DeadlineNanos and Priority are present when flagDeadline is set.
+	DeadlineNanos int64
+	Priority      uint8
 	// TotalLen and Mem are present when flagMore is set.
 	TotalLen uint32
 	Mem      na.MemHandle
@@ -56,6 +80,10 @@ func (r *reqHeader) Proc(p *Proc) error {
 		p.Uint64(&r.Breadcrumb)
 		p.Uint64(&r.RequestID)
 		p.Uint64(&r.Order)
+	}
+	if r.Flags&flagDeadline != 0 {
+		p.Int64(&r.DeadlineNanos)
+		p.Uint8(&r.Priority)
 	}
 	if r.Flags&flagMore != 0 {
 		p.Uint32(&r.TotalLen)

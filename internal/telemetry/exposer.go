@@ -26,6 +26,9 @@ type Exposer struct {
 	samplers []*Sampler
 	ln       net.Listener
 	srv      *http.Server
+	// served closes when the serve goroutine exits, so Close can wait
+	// for it instead of leaking the goroutine past teardown.
+	served chan struct{}
 }
 
 // NewExposer returns an empty exposer; register samplers then Serve.
@@ -69,23 +72,31 @@ func (e *Exposer) Serve(addr string) (string, error) {
 		return "", err
 	}
 	srv := &http.Server{Handler: e.Handler()}
+	served := make(chan struct{})
 	e.mu.Lock()
-	e.ln, e.srv = ln, srv
+	e.ln, e.srv, e.served = ln, srv, served
 	e.mu.Unlock()
-	go func() { _ = srv.Serve(ln) }()
+	go func() {
+		defer close(served)
+		_ = srv.Serve(ln)
+	}()
 	return ln.Addr().String(), nil
 }
 
-// Close stops the HTTP listener (no-op if Serve was never called).
+// Close stops the HTTP listener and waits for the serve goroutine to
+// exit, so tests and cluster teardown do not leak listeners or
+// goroutines. It is idempotent and a no-op if Serve was never called.
 func (e *Exposer) Close() error {
 	e.mu.Lock()
-	srv := e.srv
-	e.srv, e.ln = nil, nil
+	srv, served := e.srv, e.served
+	e.srv, e.ln, e.served = nil, nil, nil
 	e.mu.Unlock()
 	if srv == nil {
 		return nil
 	}
-	return srv.Close()
+	err := srv.Close()
+	<-served
+	return err
 }
 
 // family accumulates the samples of one metric family across instances.

@@ -68,6 +68,17 @@ type Sample struct {
 	FaultDelays   uint64 `json:"fault_delays"`
 	FaultRefusals uint64 `json:"fault_refusals"`
 
+	// Overload-control plane: server-side shed/expired totals, the
+	// client-side circuit breaker counters, and the admission state
+	// (in-flight handlers, draining flag).
+	OverloadShed     uint64 `json:"overload_shed"`
+	OverloadExpired  uint64 `json:"overload_expired"`
+	BreakerTrips     uint64 `json:"breaker_trips"`
+	BreakerFastFails uint64 `json:"breaker_fastfails"`
+	BreakerOpen      int    `json:"breaker_open"`
+	AdmissionDepth   int64  `json:"admission_depth"`
+	Draining         bool   `json:"draining"`
+
 	// Instance tuning knobs, exported so remediations show up in the
 	// series the moment a policy applies them.
 	OFIMaxEvents   int   `json:"ofi_max_events"`
@@ -216,6 +227,17 @@ func (s *Sampler) SampleOnce() Sample {
 	s.push(t, "fault_dups_total", Counter, float64(sm.FaultDups))
 	s.push(t, "fault_delays_total", Counter, float64(sm.FaultDelays))
 	s.push(t, "fault_refusals_total", Counter, float64(sm.FaultRefusals))
+	s.push(t, "overload_shed_total", Counter, float64(sm.OverloadShed))
+	s.push(t, "overload_expired_total", Counter, float64(sm.OverloadExpired))
+	s.push(t, "overload_breaker_trips_total", Counter, float64(sm.BreakerTrips))
+	s.push(t, "overload_breaker_fastfail_total", Counter, float64(sm.BreakerFastFails))
+	s.push(t, "overload_breaker_open", Gauge, float64(sm.BreakerOpen))
+	s.push(t, "overload_admission_depth", Gauge, float64(sm.AdmissionDepth))
+	draining := 0.0
+	if sm.Draining {
+		draining = 1
+	}
+	s.push(t, "overload_draining", Gauge, draining)
 	s.push(t, "ofi_max_events", Gauge, float64(sm.OFIMaxEvents))
 	s.push(t, "handler_streams", Gauge, float64(sm.HandlerStreams))
 	s.push(t, "rpcs_in_flight", Gauge, float64(sm.RPCsInFlight))

@@ -291,3 +291,49 @@ func TestHistogramPercentileMatchesProfile(t *testing.T) {
 		t.Fatalf("p95 %v vs bucket le %v: disagree by more than a bucket", got, bucketLe)
 	}
 }
+
+// TestExposerCloseReleasesServer: Close must actually shut the HTTP
+// server down — the listener stops accepting, the serve goroutine has
+// exited by the time Close returns, the port is immediately reusable,
+// and a second Close is a no-op. Regression test for the exposer
+// leaking its server until process exit.
+func TestExposerCloseReleasesServer(t *testing.T) {
+	src := &fakeSource{addr: "node0/s0"}
+	sp := NewSampler(src, Options{WindowPoints: 4})
+	sp.SampleOnce()
+
+	ex := NewExposer()
+	ex.Register(sp)
+	addr, err := ex.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape before close: %v", err)
+	}
+	resp.Body.Close()
+
+	if err := ex.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("scrape succeeded after Close")
+	}
+	// The goroutine released the port: rebinding the same address works.
+	ex2 := NewExposer()
+	ex2.Register(sp)
+	if _, err := ex2.Serve(addr); err != nil {
+		t.Fatalf("rebind %s after close: %v", addr, err)
+	}
+	defer ex2.Close()
+
+	// Idempotent: closing again (or an exposer that never served) is a
+	// clean no-op.
+	if err := ex.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := NewExposer().Close(); err != nil {
+		t.Fatalf("close without serve: %v", err)
+	}
+}
