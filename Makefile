@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench smoke-metrics chaos-smoke overload-smoke
+.PHONY: all build test race vet check bench bench-json bench-gate smoke-metrics chaos-smoke overload-smoke
 
 all: check
 
@@ -18,17 +18,31 @@ vet:
 # from many execution streams, the telemetry sampler/exposer that reads
 # it live, the policy engine fed by the sampler, the fabric's
 # completion-queue accessors and fault-injection plane, Mercury's
-# cancel-vs-response completion race, and the abt scheduler whose
-# lock-free pool-depth mirror feeds admission control.
+# cancel-vs-response completion race, the abt scheduler whose
+# lock-free pool-depth mirror feeds admission control, and the batch
+# window/coalescer state machine.
 race:
 	$(GO) test -race ./internal/core/... ./internal/margo/... \
 		./internal/telemetry/... ./internal/policy/... ./internal/na/... \
-		./internal/mercury/... ./internal/abt/...
+		./internal/mercury/... ./internal/abt/... ./internal/batch/...
 
 # check is the pre-commit gate: static analysis, race tests on the
 # measurement pipeline, the fault-path and overload-path smoke runs,
-# then the full tier-1 build + test sweep.
-check: vet race chaos-smoke overload-smoke build test
+# the full tier-1 build + test sweep, then the perf-regression gate
+# against the committed BENCH_*.json baseline.
+check: vet race chaos-smoke overload-smoke build test bench-gate
+
+# bench-json measures the RPC hot path (proc codec, batch building,
+# unbatched vs coalesced forwards) and writes BENCH_<date>.json — the
+# machine-readable baseline the gate compares against. Regenerate and
+# commit it when a deliberate perf change shifts the numbers.
+bench-json:
+	$(GO) run ./cmd/perfgate -write
+
+# bench-gate re-measures the same scenarios and fails on >10% time
+# regression or allocs/op growth vs the newest committed BENCH_*.json.
+bench-gate:
+	$(GO) run ./cmd/perfgate -gate
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .

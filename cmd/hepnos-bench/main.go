@@ -16,6 +16,14 @@
 //	hepnos-bench -chaos -chaos-drop 0.05 -chaos-delay 10ms -metrics :9100
 //	hepnos-bench -overload             # overload storm + recovery scenario
 //	hepnos-bench -overload -overload-clients 8 -overload-deadline 3ms
+//	hepnos-bench -batch                # batch-window sweep (C4 effect)
+//	hepnos-bench -batch -batch-issuers 4 -batch-ops 1024
+//
+// With -batch, the run drives the same multi-op workload through the
+// margo coalescer at windows {1, 8, 64} (window 1 is the unbatched
+// baseline) and reports per-window throughput, speedup, and the
+// coalescer accounting: flush counts, coalesce ratio, and the
+// flush-reason histogram.
 //
 // With -chaos, the run replays the configuration (default C2) under a
 // deterministic fault plan (drop/dup/delay probabilities, seeded) with
@@ -39,6 +47,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -59,6 +68,9 @@ func main() {
 	chaosDelayProb := flag.Float64("chaos-delay-prob", 0.05, "probability a message draws the injected delay")
 	chaosDelay := flag.Duration("chaos-delay", 5*time.Millisecond, "injected per-message delay")
 	chaosSeed := flag.Uint64("chaos-seed", 42, "seed of the deterministic fault schedule")
+	batchSweep := flag.Bool("batch", false, "run the batch-window sweep (paper C4 effect) and report coalescer stats")
+	batchIssuers := flag.Int("batch-issuers", 0, "concurrent issuer ULTs for -batch (0 = scenario default)")
+	batchOps := flag.Int("batch-ops", 0, "operations per issuer for -batch (0 = scenario default)")
 	overload := flag.Bool("overload", false, "run the overload storm + recovery scenario")
 	overloadClients := flag.Int("overload-clients", 0, "storming client processes (0 = scenario default)")
 	overloadIssuers := flag.Int("overload-issuers", 0, "issuer ULTs per client (0 = scenario default)")
@@ -83,6 +95,8 @@ func main() {
 	}()
 
 	switch {
+	case *batchSweep:
+		runBatchSweep(*batchIssuers, *batchOps)
 	case *overload:
 		runOverload(overloadKnobs{
 			clients: *overloadClients, issuers: *overloadIssuers,
@@ -229,6 +243,55 @@ func runChaos(base experiments.HEPnOSConfig, scale int, k chaosKnobs) {
 		fmt.Fprintln(os.Stderr, "hepnos-bench: chaos run lost client operations")
 		os.Exit(1)
 	}
+}
+
+func runBatchSweep(issuers, ops int) {
+	res, err := experiments.RunBatchSweep(experiments.BatchSweepConfig{
+		Issuers:      issuers,
+		OpsPerIssuer: ops,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hepnos-bench:", err)
+		os.Exit(1)
+	}
+	cfg := res.Config
+	fmt.Printf("\n=== batch window sweep (%d issuers x %d ops, %d B values; paper C4 effect)\n",
+		cfg.Issuers, cfg.OpsPerIssuer, cfg.ValueSize)
+	for _, p := range res.Points {
+		line := fmt.Sprintf("  window %3d: %8.0f ops/s  wall %-10v", p.Window, p.OpsPerSec,
+			p.WallTime.Round(10*time.Microsecond))
+		if p.Window == 1 {
+			fmt.Printf("%s (unbatched baseline)\n", line)
+			continue
+		}
+		fmt.Printf("%s %.1fx speedup; %d flushes, coalesce %.1f ops/flush%s\n",
+			line, res.Speedup(p.Window), p.Flushes, p.CoalesceRatio, reasonSummary(p.FlushReasons))
+		if p.Retries > 0 {
+			fmt.Printf("              %d batch retries\n", p.Retries)
+		}
+	}
+}
+
+// reasonSummary renders a flush-reason histogram deterministically.
+func reasonSummary(reasons map[string]uint64) string {
+	if len(reasons) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(reasons))
+	for r := range reasons {
+		keys = append(keys, r)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(" (")
+	for i, r := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %d", r, reasons[r])
+	}
+	b.WriteString(")")
+	return b.String()
 }
 
 // overloadKnobs carries the -overload-* flag values.

@@ -1,9 +1,11 @@
 // Command symstats is the SYMBIOSYS system statistics summary tool: it
 // ingests per-process trace dumps and reports the resource-saturation
 // view — pool runnable/blocked extremes, OFI events-read behaviour
-// against the configured threshold, and completion-queue extremes. It
-// also prints the PVAR class table (paper Table I) and the list of
-// PVARs a Mercury instance exports (paper Table II).
+// against the configured threshold, completion-queue extremes, and the
+// realized batching view (coalesced ops per vectored flush, from the
+// batch IDs stamped on origin-end events). It also prints the PVAR
+// class table (paper Table I) and the list of PVARs a Mercury instance
+// exports (paper Table II) — including the num_batches_* counters.
 //
 // Usage:
 //

@@ -294,6 +294,37 @@ func TestSystemStats(t *testing.T) {
 	}
 }
 
+// TestSystemStatsBatching checks that origin-end events stamped with
+// batch IDs surface as the per-entity coalescing view.
+func TestSystemStatsBatching(t *testing.T) {
+	ts := MergeTraces([]*core.TraceDump{{
+		Entity: "cli",
+		Events: []core.Event{
+			{Entity: "cli", Kind: core.EvOriginEnd, RequestID: 1, BatchID: 10},
+			{Entity: "cli", Kind: core.EvOriginEnd, RequestID: 2, BatchID: 10},
+			{Entity: "cli", Kind: core.EvOriginEnd, RequestID: 3, BatchID: 11},
+			{Entity: "cli", Kind: core.EvOriginEnd, RequestID: 4}, // unbatched
+			{Entity: "cli", Kind: core.EvOriginStart, RequestID: 5, BatchID: 12}, // not an end
+		},
+	}})
+	stats := SystemStats(ts, 16)
+	if len(stats) != 1 {
+		t.Fatalf("entities = %d", len(stats))
+	}
+	s := stats[0]
+	if s.BatchedOps != 3 || s.BatchFlushes != 2 {
+		t.Fatalf("batched ops=%d flushes=%d, want 3/2", s.BatchedOps, s.BatchFlushes)
+	}
+	if r := s.CoalesceRatio(); r != 1.5 {
+		t.Fatalf("coalesce ratio = %v", r)
+	}
+	var buf bytes.Buffer
+	RenderSystemStats(&buf, stats)
+	if !strings.Contains(buf.String(), "3 ops over 2 flushes") {
+		t.Fatalf("render missing batching line:\n%s", buf.String())
+	}
+}
+
 func TestMergeTracesCountsDropped(t *testing.T) {
 	ts := MergeTraces([]*core.TraceDump{
 		{Dropped: 3}, {Dropped: 4},

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"symbiosys/internal/core"
 )
 
 // EntityStats summarizes the system-level samples one process emitted.
@@ -28,6 +30,21 @@ type EntityStats struct {
 	MaxCQ      uint64
 	MaxHeap    uint64
 	Goroutines int
+
+	// BatchedOps counts completed origin chains that traveled inside a
+	// coalesced (vectored) forward; BatchFlushes the distinct batch IDs
+	// among them. Their ratio is the realized coalesce factor.
+	BatchedOps   int
+	BatchFlushes int
+}
+
+// CoalesceRatio reports ops per vectored flush (zero when nothing
+// coalesced).
+func (s *EntityStats) CoalesceRatio() float64 {
+	if s.BatchFlushes == 0 {
+		return 0
+	}
+	return float64(s.BatchedOps) / float64(s.BatchFlushes)
 }
 
 // SystemStats computes the per-entity system statistics summary (the
@@ -39,6 +56,7 @@ func SystemStats(ts *TraceSet, capEvents uint64) []EntityStats {
 		blocked, runnable float64
 		ofi               float64
 		ofiCount          int
+		batchIDs          map[uint64]bool
 	}
 	sum := make(map[string]*sums)
 	for _, e := range ts.Events {
@@ -77,6 +95,13 @@ func SystemStats(ts *TraceSet, capEvents uint64) []EntityStats {
 				s.MaxCQ = e.PVars.CompletionQueue
 			}
 		}
+		if e.Kind == core.EvOriginEnd && e.BatchID != 0 {
+			s.BatchedOps++
+			if sm.batchIDs == nil {
+				sm.batchIDs = make(map[uint64]bool)
+			}
+			sm.batchIDs[e.BatchID] = true
+		}
 	}
 	// Attribute drops even for entities whose every event was dropped.
 	for ent, n := range ts.DroppedBy {
@@ -98,6 +123,7 @@ func SystemStats(ts *TraceSet, capEvents uint64) []EntityStats {
 		if sm.ofiCount > 0 {
 			s.MeanOFIRead = sm.ofi / float64(sm.ofiCount)
 		}
+		s.BatchFlushes = len(sm.batchIDs)
 		out = append(out, *s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Entity < out[j].Entity })
@@ -117,6 +143,10 @@ func RenderSystemStats(w io.Writer, stats []EntityStats) {
 		}
 		if s.MaxCQ > 0 {
 			fmt.Fprintf(w, "  completion q : max %d\n", s.MaxCQ)
+		}
+		if s.BatchFlushes > 0 {
+			fmt.Fprintf(w, "  batching     : %d ops over %d flushes (coalesce %.1f ops/flush)\n",
+				s.BatchedOps, s.BatchFlushes, s.CoalesceRatio())
 		}
 		if s.Dropped > 0 {
 			fmt.Fprintf(w, "  trace dropped: %d (stats above undercount)\n", s.Dropped)

@@ -79,6 +79,11 @@ type Event struct {
 	RPCName    string      `json:"rpc"`
 	Breadcrumb uint64      `json:"breadcrumb"`
 	Duration   int64       `json:"dur_ns,omitempty"` // span length for end events
+	// BatchID groups the per-op spans of one coalesced (vectored)
+	// forward: every member's chain shares the batch ID while keeping
+	// its own request ID, so analysis can attribute time per logical op
+	// and still see which ops traveled together. Zero means unbatched.
+	BatchID uint64 `json:"batch_id,omitempty"`
 	// Failed marks a terminal event whose attempt ended in an error:
 	// a canceled/failed origin attempt, or a target span closed by a
 	// handler panic or error response. Stitchers use it to close spans

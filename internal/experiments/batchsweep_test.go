@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestBatchSweepC4Effect runs a scaled-down window sweep and checks the
+// paper's C4 shape: batched windows beat the plain-Forward baseline by
+// a widening margin, with the coalescer accounting to prove the ops
+// actually traveled in vectored frames.
+func TestBatchSweepC4Effect(t *testing.T) {
+	res, err := RunBatchSweep(BatchSweepConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("%d points, want 3", len(res.Points))
+	}
+	const total = 2 * 512
+	for _, p := range res.Points {
+		if p.Ops != total {
+			t.Fatalf("window %d completed %d ops, want %d", p.Window, p.Ops, total)
+		}
+		if p.Window == 1 {
+			if p.Flushes != 0 {
+				t.Fatalf("baseline recorded %d flushes, want none", p.Flushes)
+			}
+			continue
+		}
+		if p.Flushes == 0 || p.CoalesceRatio < 2 {
+			t.Fatalf("window %d: flushes=%d coalesce=%.1f — ops did not coalesce",
+				p.Window, p.Flushes, p.CoalesceRatio)
+		}
+	}
+	// The acceptance bar is 3x at window 64; the simulated fabric gives
+	// far more. Assert with margin so scheduler noise cannot flake.
+	if s := res.Speedup(64); s < 3 {
+		t.Fatalf("window-64 speedup %.1fx, want >= 3x", s)
+	}
+	if s8, s64 := res.Speedup(8), res.Speedup(64); s64 <= s8 {
+		t.Fatalf("speedup not monotone: w8 %.1fx, w64 %.1fx", s8, s64)
+	}
+}

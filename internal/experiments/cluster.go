@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"symbiosys/internal/analysis"
+	"symbiosys/internal/batch"
 	"symbiosys/internal/core"
 	"symbiosys/internal/margo"
 	"symbiosys/internal/mercury"
@@ -56,6 +57,9 @@ type ProcessOptions struct {
 	// Overload installs server-side admission control on the process
 	// (margo.Options.Overload); nil admits unconditionally.
 	Overload *margo.OverloadPolicy
+	// Batch installs the client-side coalescer (margo.Options.Batch);
+	// nil makes ForwardBatched/ForwardMany degrade to plain Forwards.
+	Batch *batch.Policy
 }
 
 // Start launches a virtual process on the cluster.
@@ -75,6 +79,7 @@ func (c *Cluster) Start(opts ProcessOptions) (*margo.Instance, error) {
 		Telemetry:           c.telemetry,
 		Retry:               opts.Retry,
 		Overload:            opts.Overload,
+		Batch:               opts.Batch,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: start %s/%s: %w", opts.Node, opts.Name, err)

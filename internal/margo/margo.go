@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"symbiosys/internal/abt"
+	"symbiosys/internal/batch"
 	"symbiosys/internal/core"
 	"symbiosys/internal/mercury"
 	"symbiosys/internal/mercury/pvar"
@@ -113,6 +114,12 @@ type Options struct {
 	// with mercury.ErrOverloaded instead of queueing unboundedly. Nil
 	// (the default) admits unconditionally.
 	Overload *OverloadPolicy
+
+	// Batch, when non-nil, enables the client-side coalescer:
+	// ForwardBatched/ForwardMany calls sharing a (target, RPC) pair
+	// merge into vectored forwards under the policy's window. Nil (the
+	// default) makes those calls degrade to plain Forwards.
+	Batch *batch.Policy
 }
 
 func (o *Options) fillDefaults() {
@@ -184,6 +191,14 @@ type Instance struct {
 	breakerTripsTotal     atomic.Uint64
 	breakerFastFailsTotal atomic.Uint64
 
+	// Client-side coalescer state (Options.Batch): one window per
+	// (target, RPC) pair plus the shared flush accounting.
+	batchPol   *batch.Policy
+	coalMu     sync.Mutex
+	coals      map[breakerKey]*coalescer
+	batchSeq   atomic.Uint64
+	batchStats batch.Stats
+
 	sampler *telemetry.Sampler
 }
 
@@ -252,6 +267,10 @@ func New(opts Options) (*Instance, error) {
 		pol := opts.Overload.withDefaults()
 		inst.overload = &pol
 	}
+	if opts.Batch != nil {
+		pol := opts.Batch.WithDefaults()
+		inst.batchPol = &pol
+	}
 	// Export margo's own resilience counters through the same PVAR
 	// registry as the Mercury library variables, so they reach tools via
 	// the session interface and the telemetry sampler alike.
@@ -273,6 +292,18 @@ func New(opts Options) (*Instance, error) {
 	inst.hg.PVars().RegisterGlobal(PVarNumBreakerTrips,
 		"circuit breaker closed-to-open transitions on the client side",
 		pvar.ClassCounter, inst.breakerTripsTotal.Load)
+	inst.hg.PVars().RegisterGlobal(PVarNumBatchesFlushed,
+		"coalescer windows flushed as vectored forwards",
+		pvar.ClassCounter, inst.batchStats.Flushes)
+	inst.hg.PVars().RegisterGlobal(PVarNumBatchedOps,
+		"forwards that traveled inside vectored frames",
+		pvar.ClassCounter, inst.batchStats.Ops)
+	inst.hg.PVars().RegisterGlobal(PVarNumBatchRetries,
+		"batch-level retry attempts of vectored forwards",
+		pvar.ClassCounter, inst.batchStats.Retries)
+	inst.hg.PVars().RegisterGlobal(PVarBatchOccupancy,
+		"member count of the most recently flushed batch window",
+		pvar.ClassLevel, inst.batchStats.LastOccupancy)
 	inst.initPVarSession()
 	// Profile dumps carry the resilience/overload totals alongside the
 	// callpath stats. The closure reads the atomics directly (not the
@@ -286,6 +317,9 @@ func New(opts Options) (*Instance, error) {
 			PVarNumRequestsShed:        inst.shedTotal.Load(),
 			PVarNumRequestsExpired:     inst.expiredTotal.Load(),
 			PVarNumBreakerTrips:        inst.breakerTripsTotal.Load(),
+			PVarNumBatchesFlushed:      inst.batchStats.Flushes(),
+			PVarNumBatchedOps:          inst.batchStats.Ops(),
+			PVarNumBatchRetries:        inst.batchStats.Retries(),
 		}
 	})
 	inst.progressULT = inst.progressPool.Create("margo-progress", inst.progressLoop)

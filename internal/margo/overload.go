@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"symbiosys/internal/batch"
 	"symbiosys/internal/core"
 	"symbiosys/internal/mercury"
 )
@@ -195,6 +196,10 @@ func (i *Instance) OverloadStats() OverloadStats {
 // returned so callers know the drain was dirty.
 func (i *Instance) Drain(ctx context.Context) error {
 	i.draining.Store(true)
+	// Open coalescer windows flush immediately: their members count in
+	// rpcsInFlight, so the wait below would otherwise idle out a window
+	// timer per (target, RPC) before making progress.
+	i.flushAll(batch.ReasonDrain)
 	for i.handlersInFlight.Load() != 0 || i.rpcsInFlight.Load() != 0 {
 		select {
 		case <-ctx.Done():

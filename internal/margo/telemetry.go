@@ -47,6 +47,18 @@ func (i *Instance) TelemetrySample() telemetry.Sample {
 		Draining:         i.draining.Load(),
 	}
 
+	if i.batchPol != nil {
+		bs := i.BatchStats()
+		s.BatchFlushes = bs.Flushes
+		s.BatchOps = bs.Ops
+		s.BatchBytes = bs.Bytes
+		s.BatchRetries = bs.Retries
+		s.BatchCoalesceRatio = bs.CoalesceRatio
+		s.BatchOccupancy = bs.LastOccupancy
+		s.BatchOccupancyHWM = bs.OccupancyHWM
+		s.BatchFlushReasons = bs.FlushReasons
+	}
+
 	sys := i.sys.Sample()
 	s.HeapBytes = sys.HeapBytes
 	s.Goroutines = sys.Goroutines

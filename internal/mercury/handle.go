@@ -35,11 +35,18 @@ type Handle struct {
 	memRegistered bool
 	memH          na.MemHandle
 	completed     atomic.Bool
+	// batchEnts holds the parsed per-entry views of a vectored
+	// response (origin side of a ForwardBatch).
+	batchEnts []batchRespView
 
 	// Target-side state.
 	reqPayload []byte
 	meta       Meta
 	arrived    time.Time
+	// batchTgt links a sub-handle of a vectored request to the shared
+	// fan-in state; batchSlot is this entry's index in the reply.
+	batchTgt  *batchTarget
+	batchSlot int
 
 	destroyed atomic.Bool
 
@@ -105,10 +112,15 @@ func (h *Handle) Forward(in Procable, meta Meta, cb ForwardCallback) error {
 	c := h.class
 	c.rpcsInvoked.Inc()
 
+	// Serialize into a pooled arena: the cursor and scratch buffer are
+	// recycled, so the only allocation left on this path is the frame
+	// handed to the fabric (see packFrame).
 	h.InputSerTime.Start()
-	payload, err := Encode(in)
+	arena := getArena()
+	payload, err := AppendEncode(*arena, in)
 	h.InputSerTime.Stop()
 	if err != nil {
+		putArena(arena, payload)
 		return fmt.Errorf("mercury: encode input for %s: %w", h.rpcName, err)
 	}
 
@@ -127,16 +139,22 @@ func (h *Handle) Forward(in Procable, meta Meta, cb ForwardCallback) error {
 	eager := payload
 	if len(payload) > c.cfg.EagerLimit {
 		// Eager overflow: expose the tail for the target's internal
-		// RDMA fetch and send only the head eagerly.
+		// RDMA fetch and send only the head eagerly. The tail must be
+		// copied out of the pooled arena first — registered memory is
+		// held until the RDMA completes, long after the arena has been
+		// recycled for another request.
 		c.eagerOverflows.Inc()
 		hdr.Flags |= flagMore
 		hdr.TotalLen = uint32(len(payload))
-		h.memH = c.ep.RegisterMemory(payload[c.cfg.EagerLimit:])
+		tail := make([]byte, len(payload)-c.cfg.EagerLimit)
+		copy(tail, payload[c.cfg.EagerLimit:])
+		h.memH = c.ep.RegisterMemory(tail)
 		h.memRegistered = true
 		hdr.Mem = h.memH
 		eager = payload[:c.cfg.EagerLimit]
 	}
 	frame, err := packFrame(&hdr, eager)
+	putArena(arena, payload)
 	if err != nil {
 		return err
 	}
@@ -161,27 +179,33 @@ func (h *Handle) completeForward(err error) {
 		h.memRegistered = false
 	}
 	if err == nil {
-		switch h.respStatus {
-		case statusOK:
-		case statusUnknownRPC:
-			err = fmt.Errorf("%w: %s", ErrUnknownRPC, h.rpcName)
-		case statusHandlerError:
-			var msg RawBytes
-			if derr := Decode(h.respPayload, &msg); derr == nil && len(msg) > 0 {
-				err = fmt.Errorf("%w: %s: %s", ErrHandlerFail, h.rpcName, msg)
-			} else {
-				err = fmt.Errorf("%w: %s", ErrHandlerFail, h.rpcName)
-			}
-		case statusOverloaded:
-			err = fmt.Errorf("%w: %s", ErrOverloaded, h.rpcName)
-		case statusExpired:
-			err = fmt.Errorf("%w: %s", ErrDeadlineExpired, h.rpcName)
-		default:
-			err = fmt.Errorf("mercury: bad response status %d", h.respStatus)
-		}
+		err = h.statusErr(h.respStatus, h.respPayload)
 	}
 	if h.cb != nil {
 		h.cb(h, err)
+	}
+}
+
+// statusErr maps a wire status (top-level or batch entry) to the error
+// the Forward caller observes.
+func (h *Handle) statusErr(status uint8, payload []byte) error {
+	switch status {
+	case statusOK:
+		return nil
+	case statusUnknownRPC:
+		return fmt.Errorf("%w: %s", ErrUnknownRPC, h.rpcName)
+	case statusHandlerError:
+		var msg RawBytes
+		if derr := Decode(payload, &msg); derr == nil && len(msg) > 0 {
+			return fmt.Errorf("%w: %s: %s", ErrHandlerFail, h.rpcName, msg)
+		}
+		return fmt.Errorf("%w: %s", ErrHandlerFail, h.rpcName)
+	case statusOverloaded:
+		return fmt.Errorf("%w: %s", ErrOverloaded, h.rpcName)
+	case statusExpired:
+		return fmt.Errorf("%w: %s", ErrDeadlineExpired, h.rpcName)
+	default:
+		return fmt.Errorf("mercury: bad response status %d", status)
 	}
 }
 
@@ -250,14 +274,22 @@ func (h *Handle) respondStatus(status uint8, out Procable, meta Meta, cb func(er
 	if !h.isTgt {
 		return fmt.Errorf("mercury: Respond on an origin-side handle")
 	}
+	if h.batchTgt != nil {
+		// Sub-request of a vectored frame: record into the shared batch
+		// reply instead of sending a frame of its own. The last member
+		// to respond packs and sends the single batch response.
+		return h.batchTgt.record(h, status, out, meta, cb)
+	}
 	c := h.class
-	var payload []byte
+	arena := getArena()
+	payload := *arena
 	var err error
 	if out != nil {
 		h.OutputSerTime.Start()
-		payload, err = Encode(out)
+		payload, err = AppendEncode(payload, out)
 		h.OutputSerTime.Stop()
 		if err != nil {
+			putArena(arena, payload)
 			return fmt.Errorf("mercury: encode output for rpc %#x: %w", h.rpcID, err)
 		}
 	}
@@ -267,6 +299,7 @@ func (h *Handle) respondStatus(status uint8, out Procable, meta Meta, cb func(er
 		hdr.Order = meta.Order
 	}
 	frame, err := packFrame(&hdr, payload)
+	putArena(arena, payload)
 	if err != nil {
 		return err
 	}

@@ -108,6 +108,12 @@ type Class struct {
 	staleResponses pvar.Counter
 	bulkBytes      pvar.Counter
 	sendErrors     pvar.Counter
+
+	// Vectored-frame counters (batching layer).
+	batchesForwarded    pvar.Counter
+	batchedOpsForwarded pvar.Counter
+	batchesHandled      pvar.Counter
+	batchedOpsHandled   pvar.Counter
 }
 
 // completion is a queued callback plus its enqueue instant (t12 for
@@ -285,6 +291,11 @@ func (c *Class) dispatch(ev na.Event) {
 			if cb != nil {
 				c.enqueue(func(time.Time) { cb(nil) })
 			}
+		case *batchRespondCtx:
+			// The batch reply hit the wire: every member's completion
+			// callback shares this t13.
+			bt := ctx.bt
+			c.enqueue(func(time.Time) { bt.complete(nil) })
 		case *forwardSendCtx:
 			// Request hit the wire; completion comes with the response.
 		}
@@ -300,6 +311,9 @@ func (c *Class) dispatch(ev na.Event) {
 			if cb != nil {
 				c.enqueue(func(time.Time) { cb(err) })
 			}
+		case *batchRespondCtx:
+			bt, err := ctx.bt, ev.Err
+			c.enqueue(func(time.Time) { bt.complete(err) })
 		case *bulkCtx:
 			cb, err := ctx.cb, ev.Err
 			c.enqueue(func(time.Time) { cb(err) })
@@ -316,6 +330,10 @@ func (c *Class) handleRequest(msg *na.Message) {
 	eager, err := unpackFrame(msg.Data, &hdr)
 	if err != nil {
 		return // malformed; drop
+	}
+	if hdr.Flags&flagBatch != 0 {
+		c.handleBatchRequest(msg.From, &hdr, eager)
+		return
 	}
 	h := &Handle{
 		class:  c,
@@ -385,6 +403,14 @@ func (c *Class) handleResponse(msg *na.Message) {
 	if err != nil {
 		c.enqueue(func(time.Time) { h.completeForward(err) })
 		return
+	}
+	if hdr.Flags&flagBatch != 0 {
+		ents, perr := parseBatchResp(payload, int(hdr.Count))
+		if perr != nil {
+			c.enqueue(func(time.Time) { h.completeForward(perr) })
+			return
+		}
+		h.batchEnts = ents
 	}
 	h.respStatus = hdr.Status
 	h.respMeta = Meta{HasTrace: hdr.Flags&flagTrace != 0, Order: hdr.Order}

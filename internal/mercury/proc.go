@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Op selects the direction of a Proc pass.
@@ -46,6 +47,65 @@ func NewEncoder() *Proc { return &Proc{op: OpEncode} }
 
 // NewDecoder returns a Proc that reads fields from buf.
 func NewDecoder(buf []byte) *Proc { return &Proc{op: OpDecode, buf: buf} }
+
+// procPool recycles Proc cursors so the per-call encode/decode on the
+// RPC hot path (Forward, Respond, GetInput, GetOutput) does not allocate
+// a cursor each time. Released Procs drop their buffer reference; arena
+// buffers are pooled separately so they can grow in place and be handed
+// between cursors.
+var procPool = sync.Pool{New: func() any { return new(Proc) }}
+
+// acquireEncoder returns a pooled Proc encoding by appending to dst
+// (which may be nil or a recycled arena).
+func acquireEncoder(dst []byte) *Proc {
+	p := procPool.Get().(*Proc)
+	p.op, p.buf, p.off, p.err = OpEncode, dst, 0, nil
+	return p
+}
+
+// acquireDecoder returns a pooled Proc decoding from buf.
+func acquireDecoder(buf []byte) *Proc {
+	p := procPool.Get().(*Proc)
+	p.op, p.buf, p.off, p.err = OpDecode, buf, 0, nil
+	return p
+}
+
+// releaseProc returns a pooled Proc. The cursor must not be used after
+// release; its buffer reference is cleared so pooled cursors never pin
+// wire frames or arenas.
+func releaseProc(p *Proc) {
+	p.buf, p.off, p.err = nil, 0, nil
+	procPool.Put(p)
+}
+
+// arenaMaxRetain bounds the capacity of buffers returned to the arena
+// pool; occasional giant payloads are dropped to the GC rather than
+// pinned forever by the pool.
+const arenaMaxRetain = 1 << 20
+
+// arenaPool recycles encode scratch buffers: grow-in-place during use,
+// reset-on-put. Buffers are pooled as *[]byte to avoid the slice-header
+// allocation a plain []byte interface conversion would cost.
+var arenaPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// getArena returns a zero-length scratch buffer with retained capacity.
+func getArena() *[]byte { return arenaPool.Get().(*[]byte) }
+
+// putArena resets and recycles a scratch buffer. Pass the (possibly
+// reallocated) slice back so grown capacity is retained for the next
+// user. Must not be called while any live data aliases the buffer.
+func putArena(a *[]byte, b []byte) {
+	if cap(b) > arenaMaxRetain {
+		return
+	}
+	*a = b[:0]
+	arenaPool.Put(a)
+}
 
 // Op reports the direction of the pass.
 func (p *Proc) Op() Op { return p.op }
@@ -216,6 +276,17 @@ func (p *Proc) Bytes(v *[]byte) error {
 	if err != nil {
 		return err
 	}
+	// Reuse the caller's capacity when it suffices: decoding into a
+	// recycled struct is then allocation-free. Fresh (nil) destinations
+	// allocate exactly as before, so decoded slices that the caller
+	// retains (e.g. KV keys stored by a handler) are never aliased to a
+	// pooled buffer unless the caller opted in by recycling the struct.
+	if cap(*v) >= int(n) && *v != nil {
+		out := (*v)[:n]
+		copy(out, b)
+		*v = out
+		return nil
+	}
 	out := make([]byte, n)
 	copy(out, b)
 	*v = out
@@ -266,7 +337,11 @@ func (p *Proc) BytesSlice(v *[][]byte) error {
 		if n > maxBlob {
 			return p.fail(fmt.Errorf("%w: %d", ErrProcString, n))
 		}
-		*v = make([][]byte, n)
+		if cap(*v) >= int(n) && *v != nil {
+			*v = (*v)[:n]
+		} else {
+			*v = make([][]byte, n)
+		}
 	}
 	for i := range *v {
 		if err := p.Bytes(&(*v)[i]); err != nil {
@@ -286,7 +361,11 @@ func (p *Proc) Uint64Slice(v *[]uint64) error {
 		if n > maxBlob/8 {
 			return p.fail(fmt.Errorf("%w: %d", ErrProcString, n))
 		}
-		*v = make([]uint64, n)
+		if cap(*v) >= int(n) && *v != nil {
+			*v = (*v)[:n]
+		} else {
+			*v = make([]uint64, n)
+		}
 	}
 	for i := range *v {
 		if err := p.Uint64(&(*v)[i]); err != nil {
@@ -296,22 +375,47 @@ func (p *Proc) Uint64Slice(v *[]uint64) error {
 	return p.err
 }
 
-// Encode serializes a Procable to bytes.
+// Encode serializes a Procable to a freshly allocated buffer. The
+// cursor comes from the pool; only the exact-size result escapes.
 func Encode(v Procable) ([]byte, error) {
-	p := NewEncoder()
-	if err := v.Proc(p); err != nil {
+	arena := getArena()
+	out, err := AppendEncode(*arena, v)
+	if err != nil {
+		putArena(arena, out)
 		return nil, err
 	}
-	return p.Buffer(), p.Err()
+	buf := make([]byte, len(out))
+	copy(buf, out)
+	putArena(arena, out)
+	return buf, nil
 }
 
-// Decode parses a Procable from bytes.
-func Decode(buf []byte, v Procable) error {
-	p := NewDecoder(buf)
-	if err := v.Proc(p); err != nil {
-		return err
+// AppendEncode serializes a Procable by appending to dst and returns the
+// extended slice. When dst has sufficient capacity the call performs no
+// allocations — this is the arena-backed hot-path entry point.
+func AppendEncode(dst []byte, v Procable) ([]byte, error) {
+	p := acquireEncoder(dst)
+	err := v.Proc(p)
+	if err == nil {
+		err = p.Err()
 	}
-	return p.Err()
+	out := p.buf
+	releaseProc(p)
+	if err != nil {
+		return dst, err
+	}
+	return out, nil
+}
+
+// Decode parses a Procable from bytes using a pooled cursor.
+func Decode(buf []byte, v Procable) error {
+	p := acquireDecoder(buf)
+	err := v.Proc(p)
+	if err == nil {
+		err = p.Err()
+	}
+	releaseProc(p)
+	return err
 }
 
 // RawBytes adapts a plain byte payload to Procable.

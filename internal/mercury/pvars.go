@@ -18,6 +18,10 @@ const (
 	PVarPostedHandlesHWM     = "posted_handles_highwatermark"
 	PVarCompletionQueueHWM   = "completion_queue_highwatermark"
 	PVarInternalRDMATime     = "internal_rdma_transfer_time"
+	PVarNumBatchesForwarded  = "num_batches_forwarded"
+	PVarNumBatchedOpsFwd     = "num_batched_ops_forwarded"
+	PVarNumBatchesHandled    = "num_batches_handled"
+	PVarNumBatchedOpsHandled = "num_batched_ops_handled"
 	PVarInputSerTime         = "input_serialization_time"
 	PVarInputDeserTime       = "input_deserialization_time"
 	PVarOutputSerTime        = "output_serialization_time"
@@ -58,6 +62,18 @@ func (c *Class) registerPVars() {
 	r.RegisterGlobal(PVarNumSendErrors,
 		"Number of asynchronous network failures observed",
 		pvar.ClassCounter, c.sendErrors.Load)
+	r.RegisterGlobal(PVarNumBatchesForwarded,
+		"Number of vectored (batched) forwards sent by instance",
+		pvar.ClassCounter, c.batchesForwarded.Load)
+	r.RegisterGlobal(PVarNumBatchedOpsFwd,
+		"Number of sub-requests carried by vectored forwards",
+		pvar.ClassCounter, c.batchedOpsForwarded.Load)
+	r.RegisterGlobal(PVarNumBatchesHandled,
+		"Number of vectored requests handled by instance",
+		pvar.ClassCounter, c.batchesHandled.Load)
+	r.RegisterGlobal(PVarNumBatchedOpsHandled,
+		"Number of sub-requests fanned out from vectored requests",
+		pvar.ClassCounter, c.batchedOpsHandled.Load)
 	r.RegisterGlobal(PVarBulkBytesTransferred,
 		"Bytes moved through the bulk interface",
 		pvar.ClassCounter, c.bulkBytes.Load)

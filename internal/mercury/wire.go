@@ -20,6 +20,13 @@ const (
 	// the trace fields these are control-plane state, present whenever
 	// the origin set them regardless of the measurement stage.
 	flagDeadline
+	// flagBatch marks a vectored frame: the payload carries Count
+	// sub-requests (or, on a response, Count per-entry statuses), each
+	// preceded by a batchReqEntry/batchRespEntry header. Batch frames
+	// never set flagMore — the coalescer's byte budget keeps them under
+	// the eager limit, so the RDMA overflow path and the arena pools
+	// never alias the same memory.
+	flagBatch
 )
 
 // Response status codes.
@@ -53,6 +60,11 @@ type Meta struct {
 	// Priority is the request's admission class: higher values survive
 	// load shedding longer (see margo.OverloadPolicy.HighPriority).
 	Priority uint8
+	// BatchID groups the sub-requests of one vectored forward: every
+	// sub-request's t1–t14 chain carries the same BatchID so the
+	// analysis plane can stitch per-op traces back to their batch.
+	// Zero means the request was not batched.
+	BatchID uint64
 }
 
 // reqHeader is the request wire header.
@@ -69,6 +81,9 @@ type reqHeader struct {
 	// TotalLen and Mem are present when flagMore is set.
 	TotalLen uint32
 	Mem      na.MemHandle
+	// BatchID and Count are present when flagBatch is set.
+	BatchID uint64
+	Count   uint32
 }
 
 // Proc implements Procable.
@@ -91,6 +106,10 @@ func (r *reqHeader) Proc(p *Proc) error {
 		p.Uint64(&r.Mem.ID)
 		p.Int(&r.Mem.Len)
 	}
+	if r.Flags&flagBatch != 0 {
+		p.Uint64(&r.BatchID)
+		p.Uint32(&r.Count)
+	}
 	return p.Err()
 }
 
@@ -99,6 +118,9 @@ type respHeader struct {
 	Status uint8
 	Flags  uint8
 	Order  uint64
+	// Count is present when flagBatch is set: the payload carries that
+	// many batchRespEntry records.
+	Count uint32
 }
 
 // Proc implements Procable.
@@ -108,20 +130,80 @@ func (r *respHeader) Proc(p *Proc) error {
 	if r.Flags&flagTrace != 0 {
 		p.Uint64(&r.Order)
 	}
+	if r.Flags&flagBatch != 0 {
+		p.Uint32(&r.Count)
+	}
+	return p.Err()
+}
+
+// batchReqEntry precedes each sub-request payload inside a vectored
+// request frame. It carries the per-op slice of the Meta fields so the
+// target can reconstruct one independent t1–t14 chain per logical op.
+type batchReqEntry struct {
+	Flags         uint8 // flagTrace | flagDeadline, per entry
+	Breadcrumb    uint64
+	RequestID     uint64
+	Order         uint64
+	DeadlineNanos int64
+	Priority      uint8
+	Len           uint32 // sub-request payload length
+}
+
+// Proc implements Procable.
+func (e *batchReqEntry) Proc(p *Proc) error {
+	p.Uint8(&e.Flags)
+	if e.Flags&flagTrace != 0 {
+		p.Uint64(&e.Breadcrumb)
+		p.Uint64(&e.RequestID)
+		p.Uint64(&e.Order)
+	}
+	if e.Flags&flagDeadline != 0 {
+		p.Int64(&e.DeadlineNanos)
+		p.Uint8(&e.Priority)
+	}
+	p.Uint32(&e.Len)
+	return p.Err()
+}
+
+// batchRespEntry precedes each sub-response payload inside a vectored
+// response frame: per-entry status plus the target-side Lamport order.
+type batchRespEntry struct {
+	Status uint8
+	Flags  uint8 // flagTrace
+	Order  uint64
+	Len    uint32
+}
+
+// Proc implements Procable.
+func (e *batchRespEntry) Proc(p *Proc) error {
+	p.Uint8(&e.Status)
+	p.Uint8(&e.Flags)
+	if e.Flags&flagTrace != 0 {
+		p.Uint64(&e.Order)
+	}
+	p.Uint32(&e.Len)
 	return p.Err()
 }
 
 // packFrame prefixes an encoded header with its length and appends the
-// payload: [u32 hdrLen][header][payload].
+// payload: [u32 hdrLen][header][payload]. The header is encoded into
+// pooled scratch; the only allocation is the exact-size frame itself,
+// which must be fresh because na.Endpoint.Send captures the slice (the
+// in-process receiver aliases it), so sent frames can never come from a
+// pool. One allocation per frame is therefore the steady-state floor —
+// batching amortizes it across the sub-requests a frame carries.
 func packFrame(hdr Procable, payload []byte) ([]byte, error) {
-	hb, err := Encode(hdr)
+	arena := getArena()
+	hb, err := AppendEncode(*arena, hdr)
 	if err != nil {
+		putArena(arena, hb)
 		return nil, err
 	}
 	frame := make([]byte, 0, 4+len(hb)+len(payload))
 	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(hb)))
 	frame = append(frame, hb...)
 	frame = append(frame, payload...)
+	putArena(arena, hb)
 	return frame, nil
 }
 

@@ -1,6 +1,8 @@
 package sdskv
 
 import (
+	"fmt"
+
 	"symbiosys/internal/abt"
 	"symbiosys/internal/margo"
 	"symbiosys/internal/mercury"
@@ -41,6 +43,48 @@ func (c *Client) Get(self *abt.ULT, target string, db uint32, key []byte) ([]byt
 		return nil, false, err
 	}
 	return out.Value, out.Found, nil
+}
+
+// PutMulti stores n pairs, one logical RPC each, through the margo
+// coalescer: pairs issued together share a vectored frame when the
+// instance batches (margo.Options.Batch), with per-pair status in the
+// reply. Returns one error per pair. Unlike PutPacked the pairs stay
+// independent RPCs — a shed or expired member fails alone.
+func (c *Client) PutMulti(self *abt.ULT, target string, db uint32, keys, values [][]byte) []error {
+	if len(keys) != len(values) {
+		errs := make([]error, len(keys))
+		for i := range errs {
+			errs[i] = fmt.Errorf("sdskv: PutMulti keys/values length mismatch (%d != %d)", len(keys), len(values))
+		}
+		return errs
+	}
+	ins := make([]mercury.Procable, len(keys))
+	for i := range keys {
+		ins[i] = &putArgs{DBID: db, Key: keys[i], Value: values[i]}
+	}
+	return c.inst.ForwardMany(self, target, RPCPut, ins, nil)
+}
+
+// GetMulti retrieves n keys through the coalescer, one logical RPC
+// each. values[i]/found[i] are valid iff errs[i] is nil.
+func (c *Client) GetMulti(self *abt.ULT, target string, db uint32, keys [][]byte) (values [][]byte, found []bool, errs []error) {
+	ins := make([]mercury.Procable, len(keys))
+	outs := make([]mercury.Procable, len(keys))
+	resps := make([]getResp, len(keys))
+	for i := range keys {
+		ins[i] = &getArgs{DBID: db, Key: keys[i]}
+		outs[i] = &resps[i]
+	}
+	errs = c.inst.ForwardMany(self, target, RPCGet, ins, outs)
+	values = make([][]byte, len(keys))
+	found = make([]bool, len(keys))
+	for i := range resps {
+		if errs[i] == nil {
+			values[i] = resps[i].Value
+			found[i] = resps[i].Found
+		}
+	}
+	return values, found, errs
 }
 
 // PutPacked stores a batch of pairs with a single RPC: the pairs are

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"symbiosys/internal/abt"
+	"symbiosys/internal/batch"
 	"symbiosys/internal/margo"
 	"symbiosys/internal/na"
 )
@@ -50,6 +51,122 @@ func (e *env) run(t *testing.T, fn func(self *abt.ULT) error) error {
 		t.Fatal(jerr)
 	}
 	return err
+}
+
+// newBatchEnv is newEnv with a client-side coalescer installed.
+func newBatchEnv(t *testing.T, cfg Config, pol batch.Policy) *env {
+	t.Helper()
+	f := na.NewFabric(na.DefaultConfig())
+	srv, err := margo.New(margo.Options{
+		Mode: margo.ModeServer, Node: "n1", Name: "sdskv", Fabric: f, HandlerStreams: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := margo.New(margo.Options{
+		Mode: margo.ModeClient, Node: "n0", Name: "cli", Fabric: f, Batch: &pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Shutdown(); srv.Shutdown() })
+	prov, err := RegisterProvider(srv, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{srv: srv, cli: cli, prov: prov, client: client}
+}
+
+func TestPutMultiGetMultiBatched(t *testing.T) {
+	e := newBatchEnv(t, Config{}, batch.Policy{MaxOps: 16, MaxDelay: 500 * time.Microsecond})
+	const n = 48
+	err := e.run(t, func(self *abt.ULT) error {
+		db, err := e.client.Open(self, e.srv.Addr(), "multi", "map")
+		if err != nil {
+			return err
+		}
+		keys := make([][]byte, n)
+		vals := make([][]byte, n)
+		for i := range keys {
+			keys[i] = []byte(fmt.Sprintf("mk-%03d", i))
+			vals[i] = []byte(fmt.Sprintf("mv-%03d", i))
+		}
+		for i, err := range e.client.PutMulti(self, e.srv.Addr(), db, keys, vals) {
+			if err != nil {
+				t.Errorf("PutMulti[%d]: %v", i, err)
+			}
+		}
+		// A miss in the middle must come back found=false, not an error.
+		probe := append(append([][]byte{}, keys[:3]...), []byte("absent"))
+		probe = append(probe, keys[3:]...)
+		got, found, errs := e.client.GetMulti(self, e.srv.Addr(), db, probe)
+		for i := range probe {
+			if errs[i] != nil {
+				t.Errorf("GetMulti[%d]: %v", i, errs[i])
+				continue
+			}
+			if string(probe[i]) == "absent" {
+				if found[i] {
+					t.Error("absent key reported found")
+				}
+				continue
+			}
+			want := "mv-" + string(probe[i][3:])
+			if !found[i] || string(got[i]) != want {
+				t.Errorf("GetMulti[%d] = %q %v, want %q", i, got[i], found[i], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := e.cli.BatchStats()
+	if bs.Flushes == 0 || bs.Ops < 2*n {
+		t.Fatalf("coalescer idle: %+v", bs)
+	}
+	if bs.CoalesceRatio < 2 {
+		t.Fatalf("multi-op workload did not coalesce: ratio %.2f", bs.CoalesceRatio)
+	}
+}
+
+func TestPutMultiFallsBackWithoutPolicy(t *testing.T) {
+	e := newEnv(t, Config{}) // no Options.Batch: sequential Forwards
+	err := e.run(t, func(self *abt.ULT) error {
+		db, err := e.client.Open(self, e.srv.Addr(), "plain", "map")
+		if err != nil {
+			return err
+		}
+		keys := [][]byte{[]byte("a"), []byte("b")}
+		vals := [][]byte{[]byte("1"), []byte("2")}
+		for i, err := range e.client.PutMulti(self, e.srv.Addr(), db, keys, vals) {
+			if err != nil {
+				t.Errorf("PutMulti[%d]: %v", i, err)
+			}
+		}
+		got, found, errs := e.client.GetMulti(self, e.srv.Addr(), db, keys)
+		for i := range keys {
+			if errs[i] != nil || !found[i] || string(got[i]) != string(vals[i]) {
+				t.Errorf("GetMulti[%d] = %q %v %v", i, got[i], found[i], errs[i])
+			}
+		}
+		for _, err := range e.client.PutMulti(self, e.srv.Addr(), db, keys, vals[:1]) {
+			if err == nil {
+				t.Error("length mismatch accepted")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs := e.cli.BatchStats(); bs.Flushes != 0 {
+		t.Fatalf("unbatched instance recorded flushes: %+v", bs)
+	}
 }
 
 func TestOpenPutGetEraseOverRPC(t *testing.T) {

@@ -172,6 +172,10 @@ func familyFor(series, instance string) (fam, labels string) {
 		}
 	case strings.HasPrefix(series, "pvar/"):
 		return metricPrefix + "pvar_" + sanitizeName(strings.TrimPrefix(series, "pvar/")), labels
+	case strings.HasPrefix(series, "batch_flush_reason/"):
+		reason := strings.TrimPrefix(series, "batch_flush_reason/")
+		return metricPrefix + "batch_flushes_by_reason_total",
+			labels + `,reason="` + escapeLabel(reason) + `"`
 	}
 	return metricPrefix + sanitizeName(series), labels
 }

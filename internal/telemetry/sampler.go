@@ -79,6 +79,19 @@ type Sample struct {
 	AdmissionDepth   int64  `json:"admission_depth"`
 	Draining         bool   `json:"draining"`
 
+	// Client-side coalescer (batched forwards): cumulative flush, op,
+	// byte, and retry counters, per-flush-reason counts, and window
+	// occupancy, so the paper's C4 batching effect is observable live
+	// (coalesce ratio = ops per vectored forward).
+	BatchFlushes       uint64            `json:"batch_flushes,omitempty"`
+	BatchOps           uint64            `json:"batch_ops,omitempty"`
+	BatchBytes         uint64            `json:"batch_bytes,omitempty"`
+	BatchRetries       uint64            `json:"batch_retries,omitempty"`
+	BatchCoalesceRatio float64           `json:"batch_coalesce_ratio,omitempty"`
+	BatchOccupancy     uint64            `json:"batch_occupancy,omitempty"`
+	BatchOccupancyHWM  uint64            `json:"batch_occupancy_hwm,omitempty"`
+	BatchFlushReasons  map[string]uint64 `json:"batch_flush_reasons,omitempty"`
+
 	// Instance tuning knobs, exported so remediations show up in the
 	// series the moment a policy applies them.
 	OFIMaxEvents   int   `json:"ofi_max_events"`
@@ -238,6 +251,25 @@ func (s *Sampler) SampleOnce() Sample {
 		draining = 1
 	}
 	s.push(t, "overload_draining", Gauge, draining)
+	s.push(t, "batch_flushes_total", Counter, float64(sm.BatchFlushes))
+	s.push(t, "batch_ops_total", Counter, float64(sm.BatchOps))
+	s.push(t, "batch_bytes_total", Counter, float64(sm.BatchBytes))
+	s.push(t, "batch_retries_total", Counter, float64(sm.BatchRetries))
+	s.push(t, "batch_coalesce_ratio", Gauge, sm.BatchCoalesceRatio)
+	s.push(t, "batch_window_occupancy", Gauge, float64(sm.BatchOccupancy))
+	s.push(t, "batch_window_occupancy_hwm", Gauge, float64(sm.BatchOccupancyHWM))
+	if len(sm.BatchFlushReasons) > 0 {
+		// Sorted so series registration (first-seen order) is stable
+		// across runs regardless of map iteration.
+		reasons := make([]string, 0, len(sm.BatchFlushReasons))
+		for r := range sm.BatchFlushReasons {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			s.push(t, "batch_flush_reason/"+r, Counter, float64(sm.BatchFlushReasons[r]))
+		}
+	}
 	s.push(t, "ofi_max_events", Gauge, float64(sm.OFIMaxEvents))
 	s.push(t, "handler_streams", Gauge, float64(sm.HandlerStreams))
 	s.push(t, "rpcs_in_flight", Gauge, float64(sm.RPCsInFlight))
