@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-json bench-gate smoke-metrics chaos-smoke overload-smoke
+.PHONY: all build test race vet check bench bench-json bench-gate smoke-metrics chaos-smoke overload-smoke analyze-smoke
 
 all: check
 
@@ -27,10 +27,10 @@ race:
 		./internal/mercury/... ./internal/abt/... ./internal/batch/...
 
 # check is the pre-commit gate: static analysis, race tests on the
-# measurement pipeline, the fault-path and overload-path smoke runs,
-# the full tier-1 build + test sweep, then the perf-regression gate
-# against the committed BENCH_*.json baseline.
-check: vet race chaos-smoke overload-smoke build test bench-gate
+# measurement pipeline, the fault-path, overload-path, and analysis-
+# plane smoke runs, the full tier-1 build + test sweep, then the
+# perf-regression gate against the committed BENCH_*.json baseline.
+check: vet race chaos-smoke overload-smoke analyze-smoke build test bench-gate
 
 # bench-json measures the RPC hot path (proc codec, batch building,
 # unbatched vs coalesced forwards) and writes BENCH_<date>.json — the
@@ -60,6 +60,14 @@ smoke-metrics:
 # exposition, and a clean shutdown.
 chaos-smoke:
 	$(GO) test ./internal/experiments/ -run TestChaosSmoke -count=1 -v
+
+# analyze-smoke runs the from-run-to-report pipeline end to end: a
+# small chaos campaign emits its dominant-path flame and clean-vs-chaos
+# diff automatically, the diff localizes the injected fault, and the
+# same trace set renders in all three output modes (cli, tui, html)
+# with a non-empty dominant path.
+analyze-smoke:
+	$(GO) test ./internal/experiments/ -run 'TestAnalyzeSmoke|TestBatchSweepReports' -count=1 -v
 
 # overload-smoke drives an undersized provider past saturation with
 # deadline-stamped requests and asserts the overload-control bar: zero

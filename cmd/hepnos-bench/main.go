@@ -76,8 +76,11 @@ func main() {
 	overloadIssuers := flag.Int("overload-issuers", 0, "issuer ULTs per client (0 = scenario default)")
 	overloadOps := flag.Int("overload-ops", 0, "storm operations per issuer (0 = scenario default)")
 	overloadDeadline := flag.Duration("overload-deadline", 0, "absolute per-op deadline stamped on storm requests (0 = scenario default)")
+	reportDir := flag.String("report", "", "directory for automatic critical-path reports from -chaos/-overload/-batch runs")
+	reportFmt := flag.String("report-format", "html", "report output mode: cli, tui, or html")
 	flag.Parse()
 	metricsAddr = *metrics
+	reportCfg = experiments.ReportConfig{Dir: *reportDir, Mode: *reportFmt}
 
 	// A signal during a run drains the live cluster — stop admitting,
 	// finish in-flight handlers, flush sinks — instead of dying with
@@ -124,6 +127,17 @@ func main() {
 
 // metricsAddr, when non-empty, enables live telemetry on every run.
 var metricsAddr string
+
+// reportCfg, when its Dir is non-empty, makes the chaos/overload/batch
+// scenarios emit critical-path reports (flames + diffs) automatically.
+var reportCfg experiments.ReportConfig
+
+// printReports lists the report files a scenario emitted.
+func printReports(paths []string) {
+	for _, p := range paths {
+		fmt.Printf("  report: %s\n", p)
+	}
+}
 
 func lookup(name string) experiments.HEPnOSConfig {
 	for _, cfg := range experiments.TableIV() {
@@ -216,6 +230,7 @@ func runChaos(base experiments.HEPnOSConfig, scale int, k chaosKnobs) {
 		Seed:         k.seed,
 		Scale:        scale,
 		CompareClean: true,
+		Report:       reportCfg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hepnos-bench:", err)
@@ -239,6 +254,7 @@ func runChaos(base experiments.HEPnOSConfig, scale int, k chaosKnobs) {
 			res.P99Clean.Round(time.Microsecond), res.P99Chaos.Round(time.Microsecond),
 			res.P99Inflation())
 	}
+	printReports(res.ReportPaths)
 	if res.LostEvents != 0 {
 		fmt.Fprintln(os.Stderr, "hepnos-bench: chaos run lost client operations")
 		os.Exit(1)
@@ -249,6 +265,7 @@ func runBatchSweep(issuers, ops int) {
 	res, err := experiments.RunBatchSweep(experiments.BatchSweepConfig{
 		Issuers:      issuers,
 		OpsPerIssuer: ops,
+		Report:       reportCfg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hepnos-bench:", err)
@@ -270,6 +287,7 @@ func runBatchSweep(issuers, ops int) {
 			fmt.Printf("              %d batch retries\n", p.Retries)
 		}
 	}
+	printReports(res.ReportPaths)
 }
 
 // reasonSummary renders a flush-reason histogram deterministically.
@@ -307,6 +325,7 @@ func runOverload(k overloadKnobs) {
 		StormOps:         k.stormOps,
 		StormDeadline:    k.deadline,
 		MetricsAddr:      metricsAddr,
+		Report:           reportCfg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hepnos-bench:", err)
@@ -331,6 +350,7 @@ func runOverload(k overloadKnobs) {
 	if res.MetricsAddr != "" {
 		fmt.Printf("  served live telemetry on http://%s/metrics\n", res.MetricsAddr)
 	}
+	printReports(res.ReportPaths)
 	if res.DrainErr != nil {
 		fmt.Fprintln(os.Stderr, "hepnos-bench: drain:", res.DrainErr)
 		os.Exit(1)

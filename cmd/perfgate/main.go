@@ -26,7 +26,9 @@ import (
 	"time"
 
 	"symbiosys/internal/abt"
+	"symbiosys/internal/analysis"
 	"symbiosys/internal/batch"
+	"symbiosys/internal/core"
 	"symbiosys/internal/margo"
 	"symbiosys/internal/mercury"
 	"symbiosys/internal/na"
@@ -196,6 +198,7 @@ func scenarios() []scenario {
 		{"forward_batched_w64", func() ScenarioResult {
 			return runForward(&batch.Policy{MaxOps: 64, MaxDelay: 200 * time.Microsecond}, 4096, 64)
 		}},
+		{"critical_path_extract", runCriticalPathExtract},
 	}
 }
 
@@ -308,6 +311,65 @@ func runBatchAdd() ScenarioResult {
 		for i := 0; i < chunk; i++ {
 			if err := b.Add(in, meta); err != nil {
 				panic(err)
+			}
+		}
+	})
+}
+
+// twoHopTraceEvents fabricates one clean two-hop request (client →
+// mid-tier → leaf) with queue waits on both target starts. The shape
+// mirrors twoHopEvents in internal/analysis/path_test.go — keep the
+// workloads in sync so BenchmarkExtractPaths and this scenario track
+// the same code path.
+func twoHopTraceEvents(reqID uint64, base int64) []core.Event {
+	bcMid := core.Breadcrumb(0).Push("a_rpc")
+	bcLeaf := bcMid.Push("b_rpc")
+	evs := []core.Event{
+		{RequestID: reqID, Kind: core.EvOriginStart, Timestamp: base,
+			Entity: "cli", RPCName: "a_rpc", Breadcrumb: uint64(bcMid)},
+		{RequestID: reqID, Kind: core.EvTargetStart, Timestamp: base + 100,
+			Entity: "mid", RPCName: "a_rpc", Breadcrumb: uint64(bcMid), QueueNanos: 40},
+		{RequestID: reqID, Kind: core.EvOriginStart, Timestamp: base + 200,
+			Entity: "mid", RPCName: "b_rpc", Breadcrumb: uint64(bcLeaf)},
+		{RequestID: reqID, Kind: core.EvTargetStart, Timestamp: base + 300,
+			Entity: "leaf", RPCName: "b_rpc", Breadcrumb: uint64(bcLeaf), QueueNanos: 30},
+		{RequestID: reqID, Kind: core.EvTargetEnd, Timestamp: base + 400,
+			Entity: "leaf", RPCName: "b_rpc", Breadcrumb: uint64(bcLeaf), Duration: 100},
+		{RequestID: reqID, Kind: core.EvOriginEnd, Timestamp: base + 500,
+			Entity: "mid", RPCName: "b_rpc", Breadcrumb: uint64(bcLeaf), Duration: 300},
+		{RequestID: reqID, Kind: core.EvTargetEnd, Timestamp: base + 600,
+			Entity: "mid", RPCName: "a_rpc", Breadcrumb: uint64(bcMid), Duration: 500},
+		{RequestID: reqID, Kind: core.EvOriginEnd, Timestamp: base + 700,
+			Entity: "cli", RPCName: "a_rpc", Breadcrumb: uint64(bcMid), Duration: 700},
+	}
+	for i := range evs {
+		evs[i].Order = uint64(i + 1)
+	}
+	return evs
+}
+
+// runCriticalPathExtract measures the analysis plane's per-request
+// critical-path extraction over a merged 64-request two-hop trace set
+// — the per-op cost of turning raw span trees into attributed path
+// segments, which every flame and diff report pays up front.
+func runCriticalPathExtract() ScenarioResult {
+	var dumps []*core.TraceDump
+	for i := 0; i < 64; i++ {
+		dumps = append(dumps, &core.TraceDump{
+			Entity: "d", Events: twoHopTraceEvents(uint64(i+1), 1_000_000_000+int64(i)*10_000),
+		})
+	}
+	ts := analysis.MergeTraces(dumps)
+	// One warmup extraction primes the per-request grouping maps.
+	if paths, _ := analysis.ExtractPaths(ts); len(paths) != 64 {
+		panic("critical_path_extract: warmup extracted wrong path count")
+	}
+	const chunk = 8
+	return measure("critical_path_extract", 400, chunk, func() {
+		for i := 0; i < chunk; i++ {
+			paths, _ := analysis.ExtractPaths(ts)
+			if len(paths) != 64 {
+				panic("critical_path_extract: wrong path count")
 			}
 		}
 	})

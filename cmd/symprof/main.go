@@ -12,7 +12,7 @@
 // Usage:
 //
 //	symprof [-top N] profile1.json profile2.json ...
-//	symprof [-top N] -dir dumps/
+//	symprof [-top N] -dir dumps/ [-o cli|tui|html] [-out report.html]
 //	symprof [-top N] -diff before-dumps/ -dir after-dumps/
 package main
 
@@ -22,8 +22,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"symbiosys/internal/analysis"
+	"symbiosys/internal/analysis/report"
 	"symbiosys/internal/core"
 )
 
@@ -31,6 +33,8 @@ func main() {
 	top := flag.Int("top", 5, "number of dominant callpaths to print")
 	dir := flag.String("dir", "", "directory holding *.profile.json dumps")
 	diff := flag.String("diff", "", "compare against this baseline dump directory")
+	mode := flag.String("o", "cli", "output mode: cli, tui, or html")
+	out := flag.String("out", "", "write the report to this file instead of stdout")
 	flag.Parse()
 
 	files := flag.Args()
@@ -68,7 +72,28 @@ func main() {
 		analysis.RenderDiff(os.Stdout, deltas, *top)
 		return
 	}
-	merged.RenderSummary(os.Stdout, *top)
+	// The legacy plain summary stays the cli default; -o tui/html (or
+	// -out) routes through the shared report renderer.
+	if *mode == "cli" && *out == "" {
+		merged.RenderSummary(os.Stdout, *top)
+		return
+	}
+	rm, err := report.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	model := report.FromProfile("SYMBIOSYS dominant callpaths", merged, *top)
+	model.Generated = time.Now().Format(time.RFC3339)
+	if *out == "" {
+		if err := report.Render(os.Stdout, rm, model); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := report.WriteFile(*out, rm, model); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s report to %s\n", rm, *out)
 }
 
 // loadDir reads every profile dump in a directory.

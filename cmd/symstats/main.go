@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"symbiosys/internal/analysis"
+	"symbiosys/internal/analysis/report"
 	"symbiosys/internal/core"
 	"symbiosys/internal/mercury"
 	"symbiosys/internal/mercury/pvar"
@@ -32,6 +34,8 @@ func main() {
 	capEvents := flag.Uint64("cap", 16, "OFI_max_events threshold for at-cap counting")
 	classes := flag.Bool("classes", false, "print the PVAR class table (paper Table I)")
 	pvars := flag.Bool("pvars", false, "print the PVARs a Mercury instance exports (paper Table II)")
+	mode := flag.String("o", "cli", "output mode: cli, tui, or html")
+	out := flag.String("out", "", "write the report to this file instead of stdout")
 	flag.Parse()
 
 	switch {
@@ -40,7 +44,7 @@ func main() {
 	case *pvars:
 		printPVars()
 	case *dir != "":
-		printStats(*dir, *capEvents)
+		printStats(*dir, *capEvents, *mode, *out)
 	default:
 		fmt.Fprintln(os.Stderr, "symstats: pass -dir, -classes, or -pvars; see -h")
 		os.Exit(2)
@@ -88,7 +92,7 @@ func printPVars() {
 	}
 }
 
-func printStats(dir string, capEvents uint64) {
+func printStats(dir string, capEvents uint64, mode, out string) {
 	matches, err := filepath.Glob(filepath.Join(dir, "*.trace.json"))
 	if err != nil {
 		fatal(err)
@@ -111,12 +115,41 @@ func printStats(dir string, capEvents uint64) {
 	}
 	ts := analysis.MergeTraces(dumps)
 	stats := analysis.SystemStats(ts, capEvents)
-	analysis.RenderSystemStats(os.Stdout, stats)
-	if ts.Dropped > 0 {
-		fmt.Printf("\nWARNING: %d trace events were dropped at the capacity bound;\n"+
-			"the summary above undercounts. Raise the trace capacity (margo\n"+
-			"Options.TraceCapacity) or attach a streaming JSONL sink.\n", ts.Dropped)
+	incomplete := ts.IncompleteRequests()
+	// The legacy plain summary stays the cli default; -o tui/html (or
+	// -out) routes through the shared report renderer.
+	if mode == "cli" && out == "" {
+		analysis.RenderSystemStats(os.Stdout, stats)
+		if incomplete > 0 {
+			fmt.Printf("\nincomplete_requests: %d (origin events but no target view)\n", incomplete)
+		}
+		if ts.Dropped > 0 {
+			fmt.Printf("\nWARNING: %d trace events were dropped at the capacity bound;\n"+
+				"the summary above undercounts. Raise the trace capacity (margo\n"+
+				"Options.TraceCapacity) or attach a streaming JSONL sink.\n", ts.Dropped)
+		}
+		return
 	}
+	rm, err := report.ParseMode(mode)
+	if err != nil {
+		fatal(err)
+	}
+	model := report.FromSystemStats("SYMBIOSYS system statistics", stats, incomplete)
+	model.Generated = time.Now().Format(time.RFC3339)
+	if ts.Dropped > 0 {
+		model.Notes = append(model.Notes, fmt.Sprintf(
+			"%d trace events dropped at the capacity bound; the summary undercounts", ts.Dropped))
+	}
+	if out == "" {
+		if err := report.Render(os.Stdout, rm, model); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := report.WriteFile(out, rm, model); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s report to %s\n", rm, out)
 }
 
 func fatal(err error) {

@@ -303,7 +303,7 @@ func TestSystemStatsBatching(t *testing.T) {
 			{Entity: "cli", Kind: core.EvOriginEnd, RequestID: 1, BatchID: 10},
 			{Entity: "cli", Kind: core.EvOriginEnd, RequestID: 2, BatchID: 10},
 			{Entity: "cli", Kind: core.EvOriginEnd, RequestID: 3, BatchID: 11},
-			{Entity: "cli", Kind: core.EvOriginEnd, RequestID: 4}, // unbatched
+			{Entity: "cli", Kind: core.EvOriginEnd, RequestID: 4},                // unbatched
 			{Entity: "cli", Kind: core.EvOriginStart, RequestID: 5, BatchID: 12}, // not an end
 		},
 	}})

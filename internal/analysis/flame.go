@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"symbiosys/internal/core"
+)
+
+// Dominant-path aggregation: fold per-request critical paths by shape
+// into a flame-style summary — which path shapes dominate a run, and
+// within each shape, which segments carry the time. Per-segment timing
+// reuses core.CallStats (two-per-octave log histogram), so p50/p99 come
+// from the same estimator as the callpath profile.
+
+// FlameSegment is one aggregated segment position of a path shape.
+type FlameSegment struct {
+	Kind  SegKind
+	RPC   string
+	Depth int
+	Stats core.CallStats
+}
+
+// P50 and P99 expose the segment's percentile estimates.
+func (s *FlameSegment) P50() time.Duration { return s.Stats.Percentile(50) }
+
+// P99 estimates the 99th percentile of the segment's duration.
+func (s *FlameSegment) P99() time.Duration { return s.Stats.Percentile(99) }
+
+// FlamePath is one folded path shape: every request whose critical path
+// had the same (kind, rpc, depth) segment sequence.
+type FlamePath struct {
+	Shape string
+	// Count is how many requests folded here; CumNanos their summed
+	// path totals (the shape's share of run latency).
+	Count    uint64
+	CumNanos uint64
+	// Total aggregates whole-path durations; Segments aggregates each
+	// segment position across the folded requests.
+	Total    core.CallStats
+	Segments []FlameSegment
+	// Failed / Retried / Incomplete count folded paths with those
+	// flags (shapes differ when retries add segments, but a terminal
+	// failure doesn't change the shape).
+	Failed     uint64
+	Retried    uint64
+	Incomplete uint64
+}
+
+// MeanNanos is the shape's average whole-path latency.
+func (f *FlamePath) MeanNanos() int64 {
+	if f.Count == 0 {
+		return 0
+	}
+	return int64(f.CumNanos / f.Count)
+}
+
+// DominantSegment returns the index of the segment with the largest
+// cumulative time (-1 when empty).
+func (f *FlamePath) DominantSegment() int {
+	best, bestCum := -1, uint64(0)
+	for i := range f.Segments {
+		if c := f.Segments[i].Stats.CumNanos; best < 0 || c > bestCum {
+			best, bestCum = i, c
+		}
+	}
+	return best
+}
+
+// Flame is the dominant-path summary of one run.
+type Flame struct {
+	Paths []FlamePath
+	Stats PathStats
+}
+
+// BuildFlame extracts every request's critical path and folds by shape.
+func BuildFlame(ts *TraceSet) *Flame {
+	paths, stats := ExtractPaths(ts)
+	f := FoldPaths(paths)
+	f.Stats = stats
+	return f
+}
+
+// FoldPaths folds already-extracted critical paths by shape, ordered by
+// cumulative time (descending) — the dominant shape first.
+func FoldPaths(paths []CriticalPath) *Flame {
+	byShape := make(map[string]*FlamePath)
+	var order []string
+	for i := range paths {
+		p := &paths[i]
+		fp := byShape[p.Shape]
+		if fp == nil {
+			fp = &FlamePath{Shape: p.Shape, Segments: make([]FlameSegment, len(p.Segments))}
+			for j, s := range p.Segments {
+				fp.Segments[j] = FlameSegment{Kind: s.Kind, RPC: s.RPC, Depth: s.Depth}
+			}
+			byShape[p.Shape] = fp
+			order = append(order, p.Shape)
+		}
+		fp.Count++
+		fp.CumNanos += uint64(p.TotalNanos)
+		fp.Total.Record(time.Duration(p.TotalNanos))
+		for j, s := range p.Segments {
+			fp.Segments[j].Stats.Record(time.Duration(s.DurNanos))
+		}
+		if p.Failed {
+			fp.Failed++
+		}
+		if p.Attempts > 1 {
+			fp.Retried++
+		}
+		if p.Incomplete {
+			fp.Incomplete++
+		}
+	}
+	f := &Flame{Paths: make([]FlamePath, 0, len(order))}
+	for _, shape := range order {
+		f.Paths = append(f.Paths, *byShape[shape])
+	}
+	sort.SliceStable(f.Paths, func(i, j int) bool {
+		if f.Paths[i].CumNanos != f.Paths[j].CumNanos {
+			return f.Paths[i].CumNanos > f.Paths[j].CumNanos
+		}
+		return f.Paths[i].Shape < f.Paths[j].Shape
+	})
+	return f
+}

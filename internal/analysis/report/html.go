@@ -1,0 +1,89 @@
+package report
+
+import (
+	"html/template"
+	"io"
+)
+
+// WriteHTML renders the model as one standalone HTML page: no external
+// assets, flame bars as CSS-width divs colored by segment class, tables
+// as real tables. The page is static — open the file, read the report.
+func WriteHTML(w io.Writer, m *Model) error {
+	return htmlTmpl.Execute(w, m)
+}
+
+// barPct is exposed to the template to turn Frac into a CSS width.
+func barPct(f float64) float64 {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return 100 * f
+}
+
+func barIndent(level int) int { return 18 * level }
+
+var htmlTmpl = template.Must(template.New("report").Funcs(template.FuncMap{
+	"pct":    barPct,
+	"indent": barIndent,
+}).Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+  body { font: 14px/1.45 -apple-system, "Segoe UI", sans-serif; margin: 2rem auto; max-width: 72rem; padding: 0 1rem; color: #1c2128; }
+  h1 { font-size: 1.35rem; border-bottom: 2px solid #d0d7de; padding-bottom: .4rem; }
+  h2 { font-size: 1.02rem; margin: 1.4rem 0 .4rem; }
+  .gen { color: #57606a; font-size: .85rem; }
+  .note { background: #fff8c5; border: 1px solid #d4a72c66; border-radius: 6px; padding: .35rem .6rem; margin: .3rem 0; font-size: .9rem; }
+  .body { margin: .15rem 0 .15rem .2rem; color: #24292f; }
+  .bars { margin: .4rem 0 .2rem; }
+  .barrow { display: flex; align-items: center; margin: 2px 0; font-size: .86rem; }
+  .barlabel { flex: 0 0 17rem; font-family: ui-monospace, monospace; white-space: nowrap; overflow: hidden; text-overflow: ellipsis; }
+  .bartrack { flex: 1 1 auto; background: #f0f2f5; border-radius: 3px; height: 14px; position: relative; }
+  .barfill { height: 100%; border-radius: 3px; min-width: 1px; }
+  .barpct { flex: 0 0 3.6rem; text-align: right; font-family: ui-monospace, monospace; padding: 0 .5rem; }
+  .bardetail { flex: 0 0 22rem; color: #57606a; font-family: ui-monospace, monospace; font-size: .8rem; white-space: nowrap; }
+  .c-net_out, .c-net_back { background: #54aeff; }
+  .c-queue { background: #d4a72c; }
+  .c-exec { background: #4ac26b; }
+  .c-backoff { background: #c297ff; }
+  .c-batch_window { background: #6e7781; }
+  .c-unmatched { background: #afb8c1; }
+  .c-delta\+ { background: #fa4549; }
+  .c-delta- { background: #4ac26b; }
+  table { border-collapse: collapse; margin: .5rem 0; font-size: .86rem; }
+  th, td { border: 1px solid #d0d7de; padding: .25rem .55rem; text-align: left; font-family: ui-monospace, monospace; }
+  th { background: #f6f8fa; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+{{if .Generated}}<p class="gen">generated: {{.Generated}}</p>{{end}}
+{{range .Notes}}<div class="note">{{.}}</div>{{end}}
+{{range .Sections}}
+<h2>{{.Title}}</h2>
+{{range .Body}}<p class="body">{{.}}</p>{{end}}
+{{with .Table}}
+<table>
+<tr>{{range .Header}}<th>{{.}}</th>{{end}}</tr>
+{{range .Rows}}<tr>{{range .}}<td>{{.}}</td>{{end}}</tr>{{end}}
+</table>
+{{end}}
+{{if .Bars}}
+<div class="bars">
+{{range .Bars}}  <div class="barrow" style="padding-left: {{indent .Level}}px">
+    <span class="barlabel" title="{{.Label}}">{{.Label}}</span>
+    <span class="bartrack"><span class="barfill c-{{.Class}}" style="width: {{printf "%.1f" (pct .Frac)}}%"></span></span>
+    <span class="barpct">{{printf "%.1f" (pct .Frac)}}%</span>
+    <span class="bardetail">{{.Detail}}</span>
+  </div>
+{{end}}</div>
+{{end}}
+{{end}}
+</body>
+</html>
+`))

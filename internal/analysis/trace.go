@@ -106,8 +106,14 @@ type Span struct {
 	// or failed origin attempt, error response / handler panic on the
 	// target) — closed, but not a successful execution.
 	Failed bool
-	Sys    core.SysSample
-	PVars  *core.PVarSample
+	// QueueNanos is the handler-pool wait (t4→t5) carried on SERVER
+	// spans; WindowNanos the coalescer window wait carried on batched
+	// CLIENT spans. BatchID groups members of one vectored forward.
+	QueueNanos  int64
+	WindowNanos int64
+	BatchID     uint64
+	Sys         core.SysSample
+	PVars       *core.PVarSample
 }
 
 // Spans reconstructs the call intervals of one request. Prefer
@@ -167,8 +173,13 @@ func SpansOf(requestID uint64, evs []core.Event) []Span {
 				DurNanos:   dur,
 				StartOrder: start.Order,
 				Failed:     e.Failed,
-				Sys:        e.Sys,
-				PVars:      e.PVars,
+				// Queue wait rides the start (t5) event, window wait
+				// and batch identity the end (t14) event.
+				QueueNanos:  start.QueueNanos,
+				WindowNanos: e.WindowNanos,
+				BatchID:     e.BatchID,
+				Sys:         e.Sys,
+				PVars:       e.PVars,
 			})
 		}
 	}

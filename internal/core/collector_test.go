@@ -2,8 +2,10 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -227,7 +229,7 @@ func TestJSONLTraceSinkRoundTrip(t *testing.T) {
 	if err := c.FlushSinks(); err != nil {
 		t.Fatal(err)
 	}
-	evs, err := ReadEventsJSONL(&buf)
+	evs, _, err := ReadEventsJSONL(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,4 +303,51 @@ func TestCollectorEventsOrdered(t *testing.T) {
 			t.Fatalf("events unsorted: %v", evs)
 		}
 	}
+}
+
+// TestReadEventsJSONLTruncatedTail pins the SIGINT-mid-stream contract:
+// a truncated final line is tolerated (parsed prefix + count returned),
+// while a malformed line with complete lines after it is corruption and
+// still fails.
+func TestReadEventsJSONLTruncatedTail(t *testing.T) {
+	line := func(id uint64) string {
+		return fmt.Sprintf(`{"request_id":%d,"kind":1,"rpc":"r"}`, id)
+	}
+	t.Run("truncated final line", func(t *testing.T) {
+		in := line(1) + "\n" + line(2) + "\n" + `{"request_id":3,"kind":1,"rp`
+		evs, truncated, err := ReadEventsJSONL(strings.NewReader(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truncated != 1 {
+			t.Fatalf("truncated = %d, want 1", truncated)
+		}
+		if len(evs) != 2 || evs[0].RequestID != 1 || evs[1].RequestID != 2 {
+			t.Fatalf("events = %+v", evs)
+		}
+	})
+	t.Run("clean stream reports no truncation", func(t *testing.T) {
+		in := line(1) + "\n" + line(2) + "\n"
+		evs, truncated, err := ReadEventsJSONL(strings.NewReader(in))
+		if err != nil || truncated != 0 || len(evs) != 2 {
+			t.Fatalf("evs=%d truncated=%d err=%v", len(evs), truncated, err)
+		}
+	})
+	t.Run("trailing blank lines tolerated", func(t *testing.T) {
+		in := line(1) + "\n\n  \n"
+		evs, truncated, err := ReadEventsJSONL(strings.NewReader(in))
+		if err != nil || truncated != 0 || len(evs) != 1 {
+			t.Fatalf("evs=%d truncated=%d err=%v", len(evs), truncated, err)
+		}
+	})
+	t.Run("mid-file corruption still fails", func(t *testing.T) {
+		in := line(1) + "\n" + `{"request_id":2,"garbage` + "\n" + line(3) + "\n"
+		_, _, err := ReadEventsJSONL(strings.NewReader(in))
+		if err == nil {
+			t.Fatal("mid-file corruption not reported")
+		}
+		if !strings.Contains(err.Error(), "line 2") {
+			t.Fatalf("error does not name the bad line: %v", err)
+		}
+	})
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -93,20 +94,46 @@ func (s *JSONLTraceSink) Err() error {
 }
 
 // ReadEventsJSONL parses a JSONL trace event stream (the JSONLTraceSink
-// format) back into events.
-func ReadEventsJSONL(r io.Reader) ([]Event, error) {
-	dec := json.NewDecoder(bufio.NewReader(r))
-	var out []Event
-	for {
-		var ev Event
-		if err := dec.Decode(&ev); err != nil {
-			if err == io.EOF {
-				return out, nil
-			}
-			return nil, fmt.Errorf("core: parse JSONL trace event %d: %w", len(out), err)
+// format) back into events. A truncated final line — the signature of a
+// streaming sink cut off mid-write (SIGINT, crashed process, full disk)
+// — is tolerated rather than fatal: the parsed prefix is returned along
+// with the count of discarded trailing lines, so one interrupted stream
+// does not abort a whole-run analysis. A malformed line that is NOT the
+// last line of the stream still fails: that is corruption, not
+// truncation.
+func ReadEventsJSONL(r io.Reader) (events []Event, truncated int, err error) {
+	sc := bufio.NewScanner(r)
+	// Events with fused PVAR samples run long; size the line buffer
+	// well past anything the sink emits.
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var pendingErr error
+	var pendingLine int
+	line := 0
+	for sc.Scan() {
+		raw := sc.Bytes()
+		line++
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
 		}
-		out = append(out, ev)
+		if pendingErr != nil {
+			// The bad line had complete lines after it: corruption.
+			return nil, 0, fmt.Errorf("core: parse JSONL trace event at line %d: %w", pendingLine, pendingErr)
+		}
+		var ev Event
+		if jerr := json.Unmarshal(raw, &ev); jerr != nil {
+			// Hold the verdict: only fatal if more lines follow.
+			pendingErr, pendingLine = jerr, line
+			continue
+		}
+		events = append(events, ev)
 	}
+	if serr := sc.Err(); serr != nil {
+		return nil, 0, fmt.Errorf("core: read JSONL trace stream: %w", serr)
+	}
+	if pendingErr != nil {
+		truncated = 1
+	}
+	return events, truncated, nil
 }
 
 // JSONLProfileSink streams profile dumps as JSON Lines (one dump object

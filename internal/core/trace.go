@@ -70,15 +70,15 @@ type SysSample struct {
 
 // Event is one distributed-trace record.
 type Event struct {
-	RequestID  uint64      `json:"request_id"`
-	Order      uint64      `json:"order"` // Lamport counter
-	Kind       EventKind   `json:"kind"`
-	Timestamp  int64       `json:"ts_ns"` // local wall clock, ns since epoch
-	Entity     string      `json:"entity"`
-	Peer       string      `json:"peer,omitempty"`
-	RPCName    string      `json:"rpc"`
-	Breadcrumb uint64      `json:"breadcrumb"`
-	Duration   int64       `json:"dur_ns,omitempty"` // span length for end events
+	RequestID  uint64    `json:"request_id"`
+	Order      uint64    `json:"order"` // Lamport counter
+	Kind       EventKind `json:"kind"`
+	Timestamp  int64     `json:"ts_ns"` // local wall clock, ns since epoch
+	Entity     string    `json:"entity"`
+	Peer       string    `json:"peer,omitempty"`
+	RPCName    string    `json:"rpc"`
+	Breadcrumb uint64    `json:"breadcrumb"`
+	Duration   int64     `json:"dur_ns,omitempty"` // span length for end events
 	// BatchID groups the per-op spans of one coalesced (vectored)
 	// forward: every member's chain shares the batch ID while keeping
 	// its own request ID, so analysis can attribute time per logical op
@@ -88,9 +88,20 @@ type Event struct {
 	// a canceled/failed origin attempt, or a target span closed by a
 	// handler panic or error response. Stitchers use it to close spans
 	// without treating them as successful executions.
-	Failed bool      `json:"failed,omitempty"`
-	Sys    SysSample `json:"sys"`
-	PVars      *PVarSample `json:"pvars,omitempty"`
+	Failed bool `json:"failed,omitempty"`
+	// QueueNanos, on target-start (t5) events, is the handler-pool wait
+	// the request's ULT spent spawned-but-unscheduled (t4→t5). It is the
+	// per-request form of the CompHandler profile component, carried on
+	// the event so critical-path extraction can attribute queueing
+	// without consulting the aggregate profile.
+	QueueNanos int64 `json:"queue_ns,omitempty"`
+	// WindowNanos, on batched origin-end (t14) events, is how long the
+	// op sat in the client-side coalescer window before its vectored
+	// frame first left the process — the batch-window share of the
+	// origin execution time.
+	WindowNanos int64       `json:"window_ns,omitempty"`
+	Sys         SysSample   `json:"sys"`
+	PVars       *PVarSample `json:"pvars,omitempty"`
 
 	// Components carries the per-interval breakdown on end events
 	// (indexed by Component).

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"symbiosys/internal/analysis"
+	"symbiosys/internal/analysis/report"
+)
+
+// TestAnalyzeSmoke is the `make analyze-smoke` target: the from-run-to-
+// report pipeline end to end. A small chaos campaign (clean baseline +
+// faulted run) emits its reports automatically; the dominant-path
+// report must carry a non-empty dominant path, and the same trace set
+// must render in all three output modes.
+func TestAnalyzeSmoke(t *testing.T) {
+	dir := t.TempDir()
+	base := scaled(C2, 32)
+	base.TotalClients = 2
+	base.ClientsPerNode = 2
+	base.BatchSize = 8
+
+	res, err := RunChaos(ChaosConfig{
+		Base:         base,
+		DropProb:     0.02,
+		DelayProb:    0.2,
+		Delay:        5 * time.Millisecond,
+		Seed:         7,
+		CompareClean: true,
+		Report:       ReportConfig{Dir: dir, Mode: "cli"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ReportPaths) != 2 {
+		t.Fatalf("report paths = %v, want flame + diff", res.ReportPaths)
+	}
+
+	flamePath := filepath.Join(dir, "chaos-flame.txt")
+	flameTxt, err := os.ReadFile(flamePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-empty dominant path: the top shape section renders with at
+	// least one attributed segment bar.
+	if !strings.Contains(string(flameTxt), "#1 ") {
+		t.Fatalf("flame report has no dominant path:\n%s", flameTxt)
+	}
+	if !strings.Contains(string(flameTxt), ".exec") {
+		t.Fatalf("flame report has no exec segment:\n%s", flameTxt)
+	}
+
+	diffTxt, err := os.ReadFile(filepath.Join(dir, "chaos-diff.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clean-vs-chaos diff must localize the injected faults: retry
+	// chains appear as structural NEW shapes carrying backoff or
+	// unmatched segments, or drift shows a dominant regression verdict.
+	diffStr := string(diffTxt)
+	if !strings.Contains(diffStr, "backoff") && !strings.Contains(diffStr, "unmatched") &&
+		!strings.Contains(diffStr, "dominant regression") {
+		t.Fatalf("diff report does not localize the fault:\n%s", diffStr)
+	}
+
+	// All three renderers over the faulted run's report model.
+	_, _, traces, err := runHEPnOSInternal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := analysis.BuildFlame(analysis.MergeTraces(traces))
+	if len(f.Paths) == 0 {
+		t.Fatal("no path shapes extracted from smoke run")
+	}
+	model := report.FromFlame("analyze smoke", f, 5)
+	model.Generated = "smoke"
+	for _, mode := range []report.Mode{report.ModeCLI, report.ModeTUI, report.ModeHTML} {
+		var buf bytes.Buffer
+		if err := report.Render(&buf, mode, model); err != nil {
+			t.Fatalf("%v render: %v", mode, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%v render produced no output", mode)
+		}
+		if !strings.Contains(buf.String(), "analyze smoke") {
+			t.Fatalf("%v render missing title", mode)
+		}
+	}
+}
+
+// TestBatchSweepReports exercises the sweep's automatic reporting: the
+// per-window flames plus the lo-vs-hi diff land on disk, and the large
+// window's paths are marked batched (the batch_window segment is the
+// C4 effect per request).
+func TestBatchSweepReports(t *testing.T) {
+	dir := t.TempDir()
+	res, err := RunBatchSweep(BatchSweepConfig{
+		Windows:      []int{1, 8},
+		Issuers:      2,
+		OpsPerIssuer: 64,
+		Report:       ReportConfig{Dir: dir, Mode: "cli", Top: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ReportPaths) != 3 {
+		t.Fatalf("report paths = %v, want w1 + w8 + diff", res.ReportPaths)
+	}
+	w8, err := os.ReadFile(filepath.Join(dir, "batchsweep-w8.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(w8), "#1 ") {
+		t.Fatalf("window-8 report has no dominant path:\n%s", w8)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"symbiosys/internal/abt"
 	"symbiosys/internal/batch"
+	"symbiosys/internal/core"
 	"symbiosys/internal/margo"
 	"symbiosys/internal/mercury"
 )
@@ -36,6 +37,12 @@ type BatchSweepConfig struct {
 	// MaxDelay bounds how long a non-full window may park (default
 	// 500µs).
 	MaxDelay time.Duration
+
+	// Report, when enabled, turns on full-stage measurement for the
+	// sweep (normally it runs unmeasured) and renders per-window
+	// dominant-path reports plus a smallest-vs-largest-window diff —
+	// the batch-window segment appearing is the C4 effect, per request.
+	Report ReportConfig
 }
 
 func (c *BatchSweepConfig) fillDefaults() {
@@ -74,6 +81,9 @@ type BatchSweepPoint struct {
 type BatchSweepResult struct {
 	Config BatchSweepConfig
 	Points []BatchSweepPoint
+	// ReportPaths lists the analysis reports written for the sweep
+	// (empty unless Config.Report is enabled).
+	ReportPaths []string
 }
 
 // Speedup reports a window's throughput relative to the window-1
@@ -110,34 +120,65 @@ func (a *sweepArgs) Proc(p *mercury.Proc) error {
 func RunBatchSweep(cfg BatchSweepConfig) (*BatchSweepResult, error) {
 	cfg.fillDefaults()
 	res := &BatchSweepResult{Config: cfg}
+	tracesByWindow := make(map[int][]*core.TraceDump)
 	for _, w := range cfg.Windows {
 		if w < 1 {
 			return nil, fmt.Errorf("experiments: batch window %d", w)
 		}
-		point, err := runBatchSweepPoint(cfg, w)
+		point, traces, err := runBatchSweepPoint(cfg, w)
 		if err != nil {
 			return nil, err
 		}
 		res.Points = append(res.Points, point)
+		tracesByWindow[w] = traces
+	}
+	if cfg.Report.enabled() {
+		for _, w := range cfg.Windows {
+			path, err := cfg.Report.writeFlame(fmt.Sprintf("batchsweep-w%d", w),
+				fmt.Sprintf("Batch sweep: dominant critical paths at window %d", w),
+				tracesByWindow[w])
+			if err != nil {
+				return nil, err
+			}
+			res.ReportPaths = append(res.ReportPaths, path)
+		}
+		if len(cfg.Windows) >= 2 {
+			lo, hi := cfg.Windows[0], cfg.Windows[len(cfg.Windows)-1]
+			path, err := cfg.Report.writeDiff("batchsweep-diff",
+				fmt.Sprintf("Batch sweep: window %d vs window %d critical paths", lo, hi),
+				tracesByWindow[lo], tracesByWindow[hi])
+			if err != nil {
+				return nil, err
+			}
+			res.ReportPaths = append(res.ReportPaths, path)
+		}
 	}
 	return res, nil
 }
 
-func runBatchSweepPoint(cfg BatchSweepConfig, window int) (BatchSweepPoint, error) {
+func runBatchSweepPoint(cfg BatchSweepConfig, window int) (BatchSweepPoint, []*core.TraceDump, error) {
 	cluster := NewCluster(DefaultFabric())
 	defer cluster.Shutdown()
 
-	srv, err := cluster.Start(ProcessOptions{Mode: margo.ModeServer, Node: "n1", Name: "store"})
+	// The sweep normally runs unmeasured (StageOff): its numbers are
+	// throughput, and measurement would tax the hot path it studies.
+	// Reporting needs per-request traces, so it flips on full staging.
+	var stage core.Stage
+	if cfg.Report.enabled() {
+		stage = core.StageFull
+	}
+
+	srv, err := cluster.Start(ProcessOptions{Mode: margo.ModeServer, Node: "n1", Name: "store", Stage: stage})
 	if err != nil {
-		return BatchSweepPoint{}, err
+		return BatchSweepPoint{}, nil, err
 	}
 	var pol *batch.Policy
 	if window > 1 {
 		pol = &batch.Policy{MaxOps: window, MaxDelay: cfg.MaxDelay}
 	}
-	cli, err := cluster.Start(ProcessOptions{Mode: margo.ModeClient, Node: "n0", Name: "loader", Batch: pol})
+	cli, err := cluster.Start(ProcessOptions{Mode: margo.ModeClient, Node: "n0", Name: "loader", Batch: pol, Stage: stage})
 	if err != nil {
-		return BatchSweepPoint{}, err
+		return BatchSweepPoint{}, nil, err
 	}
 
 	if err := srv.Register("sweep_put", func(ctx *margo.Context) {
@@ -148,10 +189,10 @@ func runBatchSweepPoint(cfg BatchSweepConfig, window int) (BatchSweepPoint, erro
 		}
 		ctx.Respond(mercury.Void{})
 	}); err != nil {
-		return BatchSweepPoint{}, err
+		return BatchSweepPoint{}, nil, err
 	}
 	if err := cli.RegisterClient("sweep_put"); err != nil {
-		return BatchSweepPoint{}, err
+		return BatchSweepPoint{}, nil, err
 	}
 
 	total := cfg.Issuers * cfg.OpsPerIssuer
@@ -184,14 +225,18 @@ func runBatchSweepPoint(cfg BatchSweepConfig, window int) (BatchSweepPoint, erro
 	for i, errs := range errsByIssuer {
 		for k, err := range errs {
 			if err != nil {
-				return BatchSweepPoint{}, fmt.Errorf("experiments: sweep window %d, issuer %d op %d: %w", window, i, k, err)
+				return BatchSweepPoint{}, nil, fmt.Errorf("experiments: sweep window %d, issuer %d op %d: %w", window, i, k, err)
 			}
 		}
 	}
 	if !cluster.WaitIdle(10 * time.Second) {
-		return BatchSweepPoint{}, fmt.Errorf("experiments: sweep window %d did not quiesce", window)
+		return BatchSweepPoint{}, nil, fmt.Errorf("experiments: sweep window %d did not quiesce", window)
 	}
 
+	var traces []*core.TraceDump
+	if cfg.Report.enabled() {
+		_, traces = cluster.Collect()
+	}
 	bs := cli.BatchStats()
 	return BatchSweepPoint{
 		Window:        window,
@@ -202,5 +247,5 @@ func runBatchSweepPoint(cfg BatchSweepConfig, window int) (BatchSweepPoint, erro
 		CoalesceRatio: bs.CoalesceRatio,
 		Retries:       bs.Retries,
 		FlushReasons:  bs.FlushReasons,
-	}, nil
+	}, traces, nil
 }

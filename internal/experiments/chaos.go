@@ -37,6 +37,12 @@ type ChaosConfig struct {
 	// CompareClean additionally runs the identical workload without the
 	// fault plan, for the p99-inflation baseline.
 	CompareClean bool
+
+	// Report, when enabled, renders the run's critical-path reports as
+	// the campaign ends: the faulted run's dominant-path flame, and —
+	// with CompareClean — the clean-vs-chaos diff localizing the
+	// injected fault's segment.
+	Report ReportConfig
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -101,6 +107,10 @@ type ChaosResult struct {
 	// origin-side 99th percentiles; their ratio is the p99 inflation.
 	P99Chaos time.Duration
 	P99Clean time.Duration
+
+	// ReportPaths lists the analysis reports written for the run (empty
+	// unless Config.Report is enabled).
+	ReportPaths []string
 }
 
 // P99Inflation returns P99Chaos/P99Clean (0 without a clean baseline).
@@ -141,19 +151,21 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	res := &ChaosResult{Config: cfg}
 	res.ExpectedEvents = uint64(base.TotalClients) * uint64(base.EventsPerClient)
 
+	var cleanTraces []*core.TraceDump
 	if cfg.CompareClean {
-		clean, err := RunHEPnOS(base)
+		clean, _, traces, err := runHEPnOSInternal(base)
 		if err != nil {
 			return nil, err
 		}
 		res.Clean = clean
 		res.P99Clean = putPackedOriginP99(clean)
+		cleanTraces = traces
 	}
 
 	faulted := base
 	faulted.Faults = cfg.Plan()
 	faulted.Retry = cfg.Retry
-	fr, err := RunHEPnOS(faulted)
+	fr, _, chaosTraces, err := runHEPnOSInternal(faulted)
 	if err != nil {
 		return nil, err
 	}
@@ -180,6 +192,26 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		res.RetryAmplification = float64(attempts) / float64(first)
 	} else if attempts > 0 {
 		res.RetryAmplification = 1
+	}
+
+	if cfg.Report.enabled() {
+		path, err := cfg.Report.writeFlame("chaos-flame",
+			"Chaos campaign: dominant critical paths under faults", chaosTraces)
+		if err != nil {
+			return nil, err
+		}
+		res.ReportPaths = append(res.ReportPaths, path)
+		if cfg.CompareClean {
+			// The clean run is the baseline: the diff localizes the
+			// injected fault to its path segment (backoff/unmatched
+			// waits dominate the delta) without manual trace reading.
+			path, err := cfg.Report.writeDiff("chaos-diff",
+				"Chaos campaign: clean vs faulted critical paths", cleanTraces, chaosTraces)
+			if err != nil {
+				return nil, err
+			}
+			res.ReportPaths = append(res.ReportPaths, path)
+		}
 	}
 	return res, nil
 }

@@ -70,6 +70,11 @@ type OverloadConfig struct {
 
 	// DrainTimeout bounds the graceful drain ending the run. Default 2s.
 	DrainTimeout time.Duration
+
+	// Report, when enabled, renders the run's dominant-critical-path
+	// report (queue and backoff segments under saturation) as the storm
+	// ends.
+	Report ReportConfig
 }
 
 func (c OverloadConfig) withDefaults() OverloadConfig {
@@ -219,6 +224,10 @@ type OverloadResult struct {
 	// DrainErr is the graceful drain's outcome (nil means every
 	// in-flight handler finished inside Config.DrainTimeout).
 	DrainErr error
+
+	// ReportPaths lists the analysis reports written for the run (empty
+	// unless Config.Report is enabled).
+	ReportPaths []string
 }
 
 // StormSuccessRate is acked/issued for the storm phase.
@@ -399,6 +408,14 @@ func RunOverload(cfg OverloadConfig) (*OverloadResult, error) {
 				res.FailedServerSpans++
 			}
 		}
+	}
+	if cfg.Report.enabled() {
+		path, err := cfg.Report.writeFlame("overload-flame",
+			"Overload storm: dominant critical paths", traceDumps)
+		if err != nil {
+			return nil, err
+		}
+		res.ReportPaths = append(res.ReportPaths, path)
 	}
 
 	// Graceful drain ends the run: clients quiesce first, then the

@@ -326,6 +326,10 @@ type batchFlight struct {
 	opsBox  *[]*batchOp
 	batchID uint64
 	reason  batch.Reason
+	// sentNanos is when the frame first left the process (or was
+	// fast-failed by an open breaker): the end of the members'
+	// batch-window wait, stamped as WindowNanos on their t14 events.
+	sentNanos int64
 }
 
 // takeLocked freezes the open window into a flight and resets the
@@ -354,6 +358,9 @@ func (co *coalescer) takeLocked(reason batch.Reason) *batchFlight {
 // flush), or the progress ULT (retry); none of them block.
 func (i *Instance) sendBatch(fl *batchFlight, attempt int) {
 	now := time.Now()
+	if fl.sentNanos == 0 {
+		fl.sentNanos = now.UnixNano()
+	}
 	br := i.breakerFor(fl.co.target, fl.co.rpc)
 	if br != nil && !br.allow(now) {
 		// Open circuit: the entire window fast-fails locally. The error
@@ -508,20 +515,27 @@ func (fl *batchFlight) completeOp(op *batchOp, err error, t14 time.Time, stage c
 		if stage.Injects() {
 			endOrder = i.prof.Clock.Tick()
 		}
+		var window int64
+		if fl.sentNanos > 0 {
+			if w := fl.sentNanos - op.t1.UnixNano(); w > 0 {
+				window = w
+			}
+		}
 		i.prof.EmitAt(op.ultID, core.Event{
-			RequestID:  op.reqID,
-			Order:      endOrder,
-			Kind:       core.EvOriginEnd,
-			Timestamp:  i.prof.StampNanos(t14),
-			Entity:     i.Addr(),
-			Peer:       fl.co.target,
-			RPCName:    fl.co.rpc,
-			Breadcrumb: uint64(op.bc),
-			Duration:   int64(originExec),
-			Failed:     err != nil,
-			BatchID:    fl.batchID,
-			Sys:        i.sysSample(i.mainPool),
-			Components: &comps,
+			RequestID:   op.reqID,
+			Order:       endOrder,
+			Kind:        core.EvOriginEnd,
+			Timestamp:   i.prof.StampNanos(t14),
+			Entity:      i.Addr(),
+			Peer:        fl.co.target,
+			RPCName:     fl.co.rpc,
+			Breadcrumb:  uint64(op.bc),
+			Duration:    int64(originExec),
+			Failed:      err != nil,
+			BatchID:     fl.batchID,
+			WindowNanos: window,
+			Sys:         i.sysSample(i.mainPool),
+			Components:  &comps,
 		})
 	}
 	*op.res = err

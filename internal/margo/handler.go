@@ -246,6 +246,10 @@ func (i *Instance) runHandler(self *abt.ULT, mh *mercury.Handle, rpcName string,
 			Peer:       mh.Peer(),
 			RPCName:    rpcName,
 			Breadcrumb: uint64(ctx.bc),
+			// The t4→t5 pool wait rides the t5 event so per-request
+			// analysis can attribute queueing (the critical-path
+			// "queue" segment) without the aggregate profile.
+			QueueNanos: int64(self.FirstRunTime().Sub(self.SpawnTime())),
 			Sys:        i.sysSample(i.handlerPool),
 		}
 		if stage.SamplesPVars() {

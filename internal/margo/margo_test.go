@@ -534,7 +534,7 @@ func TestMeasurementShardsAndTraceSink(t *testing.T) {
 	if err := cli.Profiler().FlushSinks(); err != nil {
 		t.Fatal(err)
 	}
-	evs, err := core.ReadEventsJSONL(&sinkBuf)
+	evs, _, err := core.ReadEventsJSONL(&sinkBuf)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -377,7 +377,7 @@ func TestCanceledForwardReachesSinksOnce(t *testing.T) {
 	if err := cli.Profiler().FlushSinks(); err != nil {
 		t.Fatal(err)
 	}
-	evs, err := core.ReadEventsJSONL(&buf)
+	evs, _, err := core.ReadEventsJSONL(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
