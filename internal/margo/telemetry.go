@@ -84,7 +84,7 @@ func (i *Instance) TelemetrySample() telemetry.Sample {
 			if info.Binding != pvar.BindNoObject {
 				continue // handle-bound PVARs have no instance-wide value
 			}
-			h := i.pvarGlobals[info.Name]
+			h := i.globalPVarHandle(info.Name)
 			if h == nil {
 				continue // Margo only holds handles for the fused set
 			}

@@ -1,0 +1,335 @@
+package ekv
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/na"
+	"symbiosys/internal/ssg"
+)
+
+const testGroup = "ekv"
+
+type env struct {
+	t      *testing.T
+	fabric *na.Fabric
+	root   *margo.Instance
+	host   *ssg.Host
+	nodes  []*Node
+	insts  []*margo.Instance
+	cliIn  *margo.Instance
+	cli    *Client
+}
+
+func newTestEnv(t *testing.T, nodes int) *env {
+	t.Helper()
+	f := na.NewFabric(na.DefaultConfig())
+	e := &env{t: t, fabric: f}
+	var err error
+	e.root, err = margo.New(margo.Options{Mode: margo.ModeServer, Node: "root", Name: "root", Fabric: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.host, err = ssg.NewHost(e.root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.host.Create(testGroup, false); err != nil {
+		t.Fatal(err)
+	}
+	// A snappier policy than the default: dropped messages under the
+	// lossy-link plan should time out in tens of milliseconds, not the
+	// default 1s per try, so chaos runs stay fast.
+	retry := margo.DefaultRetryPolicy()
+	retry.MaxAttempts = 6
+	retry.PerTryTimeout = 75 * time.Millisecond
+	retry.InitialBackoff = 2 * time.Millisecond
+	for i := 0; i < nodes; i++ {
+		e.addNode(retry)
+	}
+	// A server-mode client instance, so it receives pushed view deltas.
+	e.cliIn, err = margo.New(margo.Options{
+		Mode: margo.ModeServer, Node: "cli", Name: "cli", Fabric: f, Retry: &retry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.cli, err = NewClient(e.cliIn, e.root.Addr(), testGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, n := range e.nodes {
+			n.Close()
+		}
+		for _, in := range e.insts {
+			in.Shutdown()
+		}
+		e.cliIn.Shutdown()
+		e.host.Close()
+		e.root.Shutdown()
+	})
+	return e
+}
+
+// addNode creates (but does not join) one more node process.
+func (e *env) addNode(retry margo.RetryPolicy) *Node {
+	e.t.Helper()
+	i := len(e.insts)
+	inst, err := margo.New(margo.Options{
+		Mode: margo.ModeServer, Node: fmt.Sprintf("kv%d", i),
+		Name: fmt.Sprintf("ekv%d", i), Fabric: e.fabric, Retry: &retry,
+	})
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	n, err := NewNode(inst, e.root.Addr(), testGroup)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	e.insts = append(e.insts, inst)
+	e.nodes = append(e.nodes, n)
+	return n
+}
+
+// joinAll joins nodes [from, to) to the group.
+func (e *env) joinAll(from, to int) {
+	e.t.Helper()
+	for i := from; i < to; i++ {
+		i := i
+		e.runOn(e.insts[i], func(self *abt.ULT) error { return e.nodes[i].Join(self) })
+	}
+}
+
+func (e *env) runOn(inst *margo.Instance, fn func(self *abt.ULT) error) {
+	e.t.Helper()
+	var err error
+	u := inst.Run("t", func(self *abt.ULT) { err = fn(self) })
+	if jerr := u.Join(nil); jerr != nil {
+		e.t.Fatal(jerr)
+	}
+	if err != nil {
+		e.t.Fatal(err)
+	}
+}
+
+func (e *env) run(fn func(self *abt.ULT) error) {
+	e.t.Helper()
+	e.runOn(e.cliIn, fn)
+}
+
+// settleAll waits until every live joined node has finished rebalancing
+// its newest ring.
+func (e *env) settleAll(live []*Node) {
+	e.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		allDone := true
+		for _, n := range live {
+			if !n.Settled() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	e.t.Fatal("cluster did not settle")
+}
+
+func testKey(i int) []byte   { return []byte(fmt.Sprintf("dataset/run%02d/event%06d", i%5, i)) }
+func testValue(i int) []byte { return []byte(fmt.Sprintf("payload-%06d", i)) }
+
+// verifyAll asserts every acked key reads back with its value.
+func (e *env) verifyAll(nkeys int) {
+	e.t.Helper()
+	e.run(func(self *abt.ULT) error {
+		if err := e.cli.Refresh(self); err != nil {
+			return err
+		}
+		for i := 0; i < nkeys; i++ {
+			v, found, err := e.cli.Get(self, testKey(i))
+			if err != nil {
+				return fmt.Errorf("get %d: %w", i, err)
+			}
+			if !found {
+				return fmt.Errorf("acked key %q lost", testKey(i))
+			}
+			if string(v) != string(testValue(i)) {
+				return fmt.Errorf("key %q = %q, want %q", testKey(i), v, testValue(i))
+			}
+		}
+		return nil
+	})
+}
+
+// TestRoutingAndSpread: basic routing — every node ends up owning part
+// of the keyspace, every key reads back.
+func TestRoutingAndSpread(t *testing.T) {
+	e := newTestEnv(t, 3)
+	e.joinAll(0, 3)
+	const nkeys = 300
+	e.run(func(self *abt.ULT) error {
+		if err := e.cli.Attach(self); err != nil {
+			return err
+		}
+		for i := 0; i < nkeys; i++ {
+			if err := e.cli.Put(self, testKey(i), testValue(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	e.settleAll(e.nodes)
+	total := 0
+	for _, n := range e.nodes {
+		if n.Len() == 0 {
+			t.Errorf("node %s owns no keys", n.Addr())
+		}
+		total += n.Len()
+	}
+	if total != nkeys {
+		t.Errorf("cluster holds %d pairs, want %d", total, nkeys)
+	}
+	e.verifyAll(nkeys)
+}
+
+// TestScaleOutMigratesKeys: join two more nodes after loading; the
+// moving ranges must stream over, residual copies must be deleted, and
+// every key must survive.
+func TestScaleOutMigratesKeys(t *testing.T) {
+	e := newTestEnv(t, 4)
+	e.joinAll(0, 2)
+	const nkeys = 400
+	e.run(func(self *abt.ULT) error {
+		if err := e.cli.Attach(self); err != nil {
+			return err
+		}
+		for i := 0; i < nkeys; i++ {
+			if err := e.cli.Put(self, testKey(i), testValue(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	e.joinAll(2, 4)
+	e.settleAll(e.nodes)
+
+	var out, in uint64
+	total := 0
+	for i, n := range e.nodes {
+		total += n.Len()
+		out += n.keysOut.Load()
+		in += n.keysIn.Load()
+		if i >= 2 && n.Len() == 0 {
+			t.Errorf("joined node %s received no keys", n.Addr())
+		}
+	}
+	if total != nkeys {
+		t.Errorf("cluster holds %d pairs after scale-out, want %d (residuals not deleted?)", total, nkeys)
+	}
+	if out == 0 || in == 0 {
+		t.Errorf("no migration recorded: out=%d in=%d", out, in)
+	}
+	e.verifyAll(nkeys)
+}
+
+// TestDrainDuringRebalance is the satellite regression test: draining a
+// node mid-migration must hand off its shards — including in-flight
+// transfer residue — instead of stranding them. A fourth node joins
+// (starting a rebalance) and one of the loaded nodes drains while that
+// round is still running; every acked key must remain readable.
+func TestDrainDuringRebalance(t *testing.T) {
+	e := newTestEnv(t, 4)
+	e.joinAll(0, 3)
+	const nkeys = 500
+	e.run(func(self *abt.ULT) error {
+		if err := e.cli.Attach(self); err != nil {
+			return err
+		}
+		for i := 0; i < nkeys; i++ {
+			if err := e.cli.Put(self, testKey(i), testValue(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	// Kick a rebalance (node 3 joins) and drain node 1 while the round
+	// runs. Drain's OnDrain hook must retire the node: stream every
+	// local pair to its surviving owner, then leave the group.
+	e.joinAll(3, 4)
+	victim := e.insts[1]
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := victim.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if n := e.nodes[1].Len(); n != 0 {
+		t.Errorf("drained node still holds %d pairs", n)
+	}
+	live := []*Node{e.nodes[0], e.nodes[2], e.nodes[3]}
+	e.settleAll(live)
+	total := 0
+	for _, n := range live {
+		total += n.Len()
+	}
+	if total != nkeys {
+		t.Errorf("survivors hold %d pairs, want %d", total, nkeys)
+	}
+	e.verifyAll(nkeys)
+}
+
+// TestLossyLinkMigrationNoAckedLost is the satellite chaos test: a
+// seeded fault plan drops and delays traffic on every link while the
+// cluster scales from 2 to 4 nodes under a continuing write load. The
+// bar: zero acked-then-lost ops — whatever the client saw acked must
+// read back after the dust settles.
+func TestLossyLinkMigrationNoAckedLost(t *testing.T) {
+	e := newTestEnv(t, 4)
+	e.joinAll(0, 2)
+
+	plan := na.NewFaultPlan(1234)
+	plan.Default = na.FaultRule{
+		DropProb:  0.02,
+		DelayProb: 0.05,
+		Delay:     2 * time.Millisecond,
+	}
+	e.fabric.SetFaultPlan(plan)
+
+	const nkeys = 400
+	acked := 0
+	e.run(func(self *abt.ULT) error {
+		if err := e.cli.Attach(self); err != nil {
+			return err
+		}
+		for i := 0; i < nkeys; i++ {
+			// Scale out mid-load: the second half of the writes lands
+			// while the moving ranges stream under the lossy plan.
+			if i == nkeys/2 {
+				e.joinAll(2, 4)
+			}
+			if err := e.cli.Put(self, testKey(i), testValue(i)); err != nil {
+				return fmt.Errorf("put %d under faults: %w", i, err)
+			}
+			acked++
+		}
+		return nil
+	})
+	if acked != nkeys {
+		t.Fatalf("acked %d of %d puts", acked, nkeys)
+	}
+	e.settleAll(e.nodes)
+	// Heal the fabric for the audit so a dropped response cannot mask a
+	// truly stored pair as lost (the audit checks state, not the link).
+	e.fabric.SetFaultPlan(nil)
+	if e.fabric.FaultStats().Drops == 0 {
+		t.Error("fault plan injected no drops — test exercised nothing")
+	}
+	e.verifyAll(nkeys)
+}

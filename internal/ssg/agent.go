@@ -1,0 +1,134 @@
+package ssg
+
+import (
+	"sync"
+
+	"symbiosys/internal/abt"
+	"symbiosys/internal/margo"
+	"symbiosys/internal/mercury"
+)
+
+// Agent is the participant side of a dynamic group: a process (server
+// mode — it must service RPCs) that joins or watches groups rooted
+// elsewhere, receives pushed membership deltas, answers failure-
+// detector pings, and keeps a locally cached view per group. Routing
+// layers subscribe to the event stream to refresh their tables without
+// polling Observe.
+type Agent struct {
+	inst *margo.Instance
+	cli  *Client
+
+	mu    sync.Mutex
+	views map[string]View // group -> freshest view seen
+	subs  map[string][]func(Event)
+}
+
+// NewAgent installs the participant-side SSG RPCs (notify, ping) on a
+// Margo server instance and returns the agent.
+func NewAgent(inst *margo.Instance) (*Agent, error) {
+	cli, err := NewClient(inst)
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{inst: inst, cli: cli, views: make(map[string]View), subs: make(map[string][]func(Event))}
+	if err := inst.Register(RPCNotify, a.handleNotify); err != nil {
+		return nil, err
+	}
+	if err := inst.Register(RPCPing, a.handlePing); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Client exposes the underlying pull-side client (Observe etc.).
+func (a *Agent) Client() *Client { return a.cli }
+
+// Join enters the group rooted at root as this process, caching the
+// returned view. Returns the assigned rank.
+func (a *Agent) Join(self *abt.ULT, root, group string) (uint32, View, error) {
+	rank, v, err := a.cli.Join(self, root, group, a.inst.Addr())
+	if err != nil {
+		return 0, View{}, err
+	}
+	a.apply(group, v)
+	return rank, v, nil
+}
+
+// Leave exits the group.
+func (a *Agent) Leave(self *abt.ULT, root, group string) error {
+	return a.cli.Leave(self, root, group, a.inst.Addr())
+}
+
+// Watch subscribes this process for pushed deltas without joining,
+// caching the returned view.
+func (a *Agent) Watch(self *abt.ULT, root, group string) (View, error) {
+	v, err := a.cli.Subscribe(self, root, group, a.inst.Addr())
+	if err != nil {
+		return View{}, err
+	}
+	a.apply(group, v)
+	return v, nil
+}
+
+// Refresh re-pulls the view from the root (recovery path when pushes
+// were missed) and caches it.
+func (a *Agent) Refresh(self *abt.ULT, root, group string) (View, error) {
+	v, err := a.cli.Observe(self, root, group)
+	if err != nil {
+		return View{}, err
+	}
+	a.apply(group, v)
+	return v, nil
+}
+
+// View returns the freshest cached view for the group.
+func (a *Agent) View(group string) (View, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v, ok := a.views[group]
+	return v, ok
+}
+
+// OnEvent subscribes a callback to the group's pushed membership
+// events. Callbacks run on the notify handler ULT, one event at a
+// time, after the cached view has been updated — so a callback reading
+// Agent.View sees a view at least as new as the event's.
+func (a *Agent) OnEvent(group string, fn func(Event)) {
+	a.mu.Lock()
+	a.subs[group] = append(a.subs[group], fn)
+	a.mu.Unlock()
+}
+
+// apply caches v if it is newer than what we hold (pushes and pulls
+// can race; versions are totally ordered by the root).
+func (a *Agent) apply(group string, v View) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if cur, ok := a.views[group]; ok && cur.Version >= v.Version && v.Version != 0 {
+		return false
+	}
+	a.views[group] = v
+	return true
+}
+
+func (a *Agent) handleNotify(ctx *margo.Context) {
+	var in notifyArgs
+	if err := ctx.GetInput(&in); err != nil {
+		ctx.RespondError("ssg: %v", err)
+		return
+	}
+	ev := argsToEvent(&in)
+	// Suspicion does not bump the version; still deliver the event.
+	a.apply(in.Group, ev.View)
+	a.mu.Lock()
+	subs := append([]func(Event){}, a.subs[in.Group]...)
+	a.mu.Unlock()
+	for _, fn := range subs {
+		fn(ev)
+	}
+	ctx.Respond(mercury.Void{})
+}
+
+func (a *Agent) handlePing(ctx *margo.Context) {
+	ctx.Respond(mercury.Void{})
+}

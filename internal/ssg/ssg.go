@@ -8,7 +8,12 @@
 // The real SSG bootstraps over MPI/PMIx and maintains membership with
 // SWIM gossip; this implementation roots each group at its creating
 // process and runs join/leave/observe as ordinary RPCs over the fabric,
-// which preserves the discovery API the services need.
+// which preserves the discovery API the services need. On top of the
+// pull API the group is dynamic: membership changes are pushed as
+// versioned view deltas to members and subscribed observers (Agent),
+// and a SWIM-style failure detector on the root turns missed pings into
+// suspicion and, eventually, eviction — so elasticity and fault
+// handling ride the same event stream.
 package ssg
 
 import (
@@ -22,15 +27,21 @@ import (
 	"symbiosys/internal/mercury"
 )
 
-// RPC names exported by a group root.
+// RPC names exported by a group root (join/leave/observe/subscribe) and
+// by group participants (notify/ping, see Agent).
 const (
-	RPCJoin    = "ssg_join_rpc"
-	RPCLeave   = "ssg_leave_rpc"
-	RPCObserve = "ssg_observe_rpc"
+	RPCJoin      = "ssg_join_rpc"
+	RPCLeave     = "ssg_leave_rpc"
+	RPCObserve   = "ssg_observe_rpc"
+	RPCSubscribe = "ssg_subscribe_rpc"
+	RPCNotify    = "ssg_notify_rpc"
+	RPCPing      = "ssg_ping_rpc"
 )
 
-// RPCNames lists the SSG RPCs (for client registration).
-func RPCNames() []string { return []string{RPCJoin, RPCLeave, RPCObserve} }
+// RPCNames lists the root-side SSG RPCs (for client registration).
+func RPCNames() []string {
+	return []string{RPCJoin, RPCLeave, RPCObserve, RPCSubscribe}
+}
 
 // Errors returned by group operations.
 var (
@@ -44,18 +55,62 @@ type Member struct {
 	Addr string
 }
 
-// View is a versioned membership snapshot.
+// EventType classifies one membership change.
+type EventType uint8
+
+// Membership event types.
+const (
+	// EventJoin: a member entered the group.
+	EventJoin EventType = iota + 1
+	// EventLeave: a member left voluntarily.
+	EventLeave
+	// EventSuspect: the failure detector missed pings from a member;
+	// the member is still in the view but may be about to fail.
+	EventSuspect
+	// EventFail: the failure detector evicted an unresponsive member.
+	EventFail
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case EventJoin:
+		return "join"
+	case EventLeave:
+		return "leave"
+	case EventSuspect:
+		return "suspect"
+	case EventFail:
+		return "fail"
+	}
+	return "unknown"
+}
+
+// Event is one versioned membership delta: what changed, and the full
+// view after the change (suspicion does not bump the version).
+type Event struct {
+	Type   EventType
+	Member Member
+	View   View
+}
+
+// View is a versioned membership snapshot. Members is copy-on-write:
+// the slice is rebuilt on every membership change and never mutated
+// afterwards, so a View handed out under one version can be read
+// concurrently with later churn. Treat it as read-only.
 type View struct {
 	Name    string
 	Version uint64
-	Members []Member // sorted by rank
+	Members []Member // sorted by rank; immutable once published
 }
 
 // Size returns the member count.
 func (v *View) Size() int { return len(v.Members) }
 
 // MemberFor deterministically maps a key onto a member (consistent
-// addressing for clients that shard by key).
+// addressing for clients that shard by key). An empty view has no
+// member to return, so ok is false — callers must check it before
+// using the member (routing against a drained-out group).
 func (v *View) MemberFor(key []byte) (Member, bool) {
 	if len(v.Members) == 0 {
 		return Member{}, false
@@ -78,14 +133,28 @@ func (v *View) Addrs() []string {
 	return out
 }
 
+// Has reports whether addr is in the view.
+func (v *View) Has(addr string) bool {
+	for _, m := range v.Members {
+		if m.Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
 // Group is the root-side state of one service group.
 type Group struct {
 	name string
+	host *Host
 
 	mu      sync.Mutex
 	members map[string]uint32 // addr -> rank
 	next    uint32
 	version uint64
+	cur     []Member        // copy-on-write sorted snapshot
+	watch   map[string]bool // subscribed non-member observers
+	subs    []func(Event)   // root-local subscribers
 }
 
 // Host manages the groups rooted at one server process.
@@ -94,22 +163,68 @@ type Host struct {
 
 	mu     sync.Mutex
 	groups map[string]*Group
+
+	// Push-notification queue, drained by a dedicated ULT so membership
+	// handlers never block on fan-out RPCs.
+	qmu      sync.Mutex
+	queue    []push
+	qsem     *abt.Semaphore
+	notifier *abt.ULT
+	stopped  bool
+
+	detectMu  sync.Mutex
+	detectors []*Detector
+}
+
+// push is one queued notification fan-out.
+type push struct {
+	group string
+	ev    Event
 }
 
 // NewHost installs the SSG RPCs on a Margo server and returns the host.
 func NewHost(inst *margo.Instance) (*Host, error) {
 	h := &Host{inst: inst, groups: make(map[string]*Group)}
 	handlers := map[string]margo.HandlerFunc{
-		RPCJoin:    h.handleJoin,
-		RPCLeave:   h.handleLeave,
-		RPCObserve: h.handleObserve,
+		RPCJoin:      h.handleJoin,
+		RPCLeave:     h.handleLeave,
+		RPCObserve:   h.handleObserve,
+		RPCSubscribe: h.handleSubscribe,
 	}
 	for name, fn := range handlers {
 		if err := inst.Register(name, fn); err != nil {
 			return nil, err
 		}
 	}
+	// The root forwards notify/ping to participants.
+	if err := inst.RegisterClient(RPCNotify, RPCPing); err != nil {
+		return nil, err
+	}
+	h.qsem = abt.NewSemaphore(1)
+	h.qsem.Acquire(nil) // consume the initial permit: queue starts empty
+	h.notifier = inst.Run("ssg-notifier", h.notifyLoop)
 	return h, nil
+}
+
+// Close stops the host's notifier ULT and any failure detectors. The
+// margo instance is not touched.
+func (h *Host) Close() {
+	h.detectMu.Lock()
+	dets := h.detectors
+	h.detectors = nil
+	h.detectMu.Unlock()
+	for _, d := range dets {
+		d.Stop()
+	}
+	h.qmu.Lock()
+	if h.stopped {
+		h.qmu.Unlock()
+		return
+	}
+	h.stopped = true
+	h.qmu.Unlock()
+	h.qsem.Release() // wake the notifier so it observes stopped
+	h.notifier.Join(nil)
 }
 
 // Create roots a new group containing (optionally) the host itself.
@@ -119,11 +234,12 @@ func (h *Host) Create(name string, includeSelf bool) (*Group, error) {
 	if _, dup := h.groups[name]; dup {
 		return nil, fmt.Errorf("ssg: group %q exists", name)
 	}
-	g := &Group{name: name, members: make(map[string]uint32)}
+	g := &Group{name: name, host: h, members: make(map[string]uint32), watch: make(map[string]bool)}
 	if includeSelf {
 		g.members[h.inst.Addr()] = 0
 		g.next = 1
 		g.version = 1
+		g.rebuildLocked()
 	}
 	h.groups[name] = g
 	return g, nil
@@ -136,7 +252,20 @@ func (h *Host) group(name string) (*Group, bool) {
 	return g, ok
 }
 
-// View snapshots the group's membership.
+// rebuildLocked refreshes the copy-on-write member snapshot. Must run
+// with g.mu held.
+func (g *Group) rebuildLocked() {
+	cur := make([]Member, 0, len(g.members))
+	for addr, rank := range g.members {
+		cur = append(cur, Member{Rank: rank, Addr: addr})
+	}
+	sort.Slice(cur, func(i, j int) bool { return cur[i].Rank < cur[j].Rank })
+	g.cur = cur
+}
+
+// View snapshots the group's membership. The returned member slice is
+// the immutable copy-on-write snapshot: safe to read under concurrent
+// churn, never mutated in place.
 func (g *Group) View() View {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -144,38 +273,156 @@ func (g *Group) View() View {
 }
 
 func (g *Group) viewLocked() View {
-	v := View{Name: g.name, Version: g.version}
-	for addr, rank := range g.members {
-		v.Members = append(v.Members, Member{Rank: rank, Addr: addr})
-	}
-	sort.Slice(v.Members, func(i, j int) bool { return v.Members[i].Rank < v.Members[j].Rank })
-	return v
+	return View{Name: g.name, Version: g.version, Members: g.cur}
 }
 
-// join adds a member, returning its rank and the new view.
-func (g *Group) join(addr string) (uint32, View) {
+// OnEvent subscribes a root-local callback to this group's membership
+// events. Callbacks run on the host's notifier ULT, in event order.
+func (g *Group) OnEvent(fn func(Event)) {
+	g.mu.Lock()
+	g.subs = append(g.subs, fn)
+	g.mu.Unlock()
+}
+
+// join adds a member, returning its rank, the new view, and whether
+// membership actually changed.
+func (g *Group) join(addr string) (uint32, View, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if rank, already := g.members[addr]; already {
-		return rank, g.viewLocked()
+		return rank, g.viewLocked(), false
 	}
 	rank := g.next
 	g.next++
 	g.members[addr] = rank
 	g.version++
-	return rank, g.viewLocked()
+	g.rebuildLocked()
+	return rank, g.viewLocked(), true
 }
 
 // leave removes a member, reporting whether it was present.
-func (g *Group) leave(addr string) bool {
+func (g *Group) leave(addr string) (View, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if _, ok := g.members[addr]; !ok {
-		return false
+		return View{}, false
 	}
 	delete(g.members, addr)
 	g.version++
+	g.rebuildLocked()
+	return g.viewLocked(), true
+}
+
+// Fail evicts an unresponsive member (failure-detector verdict),
+// reporting whether it was present. The eviction is pushed to the
+// survivors as an EventFail delta.
+func (g *Group) Fail(addr string) bool {
+	v, ok := g.leave(addr)
+	if !ok {
+		return false
+	}
+	g.host.enqueue(g.name, Event{Type: EventFail, Member: Member{Addr: addr}, View: v})
 	return true
+}
+
+// Suspect pushes an EventSuspect delta for addr without changing the
+// view (the member may still recover).
+func (g *Group) Suspect(addr string) {
+	g.mu.Lock()
+	rank, ok := g.members[addr]
+	v := g.viewLocked()
+	g.mu.Unlock()
+	if !ok {
+		return
+	}
+	g.host.enqueue(g.name, Event{Type: EventSuspect, Member: Member{Rank: rank, Addr: addr}, View: v})
+}
+
+// subscribe registers a non-member observer for push notifications.
+func (g *Group) subscribe(addr string) View {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.watch[addr] = true
+	return g.viewLocked()
+}
+
+// recipients lists every address to push an event to: members plus
+// subscribed observers, minus the event's own member (a joiner already
+// holds the view from its join response; a left or failed member is
+// gone).
+func (g *Group) recipients(ev Event) []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.cur)+len(g.watch))
+	for _, m := range g.cur {
+		if m.Addr != ev.Member.Addr && m.Addr != g.host.inst.Addr() {
+			out = append(out, m.Addr)
+		}
+	}
+	for addr := range g.watch {
+		if addr != ev.Member.Addr && !g.hasLocked(addr) {
+			out = append(out, addr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (g *Group) hasLocked(addr string) bool {
+	_, ok := g.members[addr]
+	return ok
+}
+
+// enqueue hands an event to the notifier ULT.
+func (h *Host) enqueue(group string, ev Event) {
+	h.qmu.Lock()
+	if h.stopped {
+		h.qmu.Unlock()
+		return
+	}
+	h.queue = append(h.queue, push{group: group, ev: ev})
+	h.qmu.Unlock()
+	h.qsem.Release()
+}
+
+// notifyLoop drains the push queue: each event fans out to the group's
+// members and subscribed observers as ssg_notify RPCs (short timeout —
+// an unreachable recipient must not stall churn), and to root-local
+// subscribers as direct calls.
+func (h *Host) notifyLoop(self *abt.ULT) {
+	for {
+		h.qsem.Acquire(self)
+		h.qmu.Lock()
+		if h.stopped && len(h.queue) == 0 {
+			h.qmu.Unlock()
+			return
+		}
+		if len(h.queue) == 0 {
+			h.qmu.Unlock()
+			continue
+		}
+		p := h.queue[0]
+		h.queue = h.queue[1:]
+		h.qmu.Unlock()
+
+		g, ok := h.group(p.group)
+		if !ok {
+			continue
+		}
+		g.mu.Lock()
+		subs := append([]func(Event){}, g.subs...)
+		g.mu.Unlock()
+		for _, fn := range subs {
+			fn(p.ev)
+		}
+		args := eventToArgs(p.group, p.ev)
+		for _, addr := range g.recipients(p.ev) {
+			// Best-effort push: a recipient that cannot be reached will
+			// catch up from a later event or an explicit Observe. The
+			// timeout keeps one dead observer from stalling the queue.
+			_ = h.inst.ForwardTimeout(self, addr, RPCNotify, &args, nil, notifyTimeout)
+		}
+	}
 }
 
 // Wire types.
@@ -223,6 +470,42 @@ func respToView(name string, r viewResp) View {
 	return v
 }
 
+// notifyArgs is one pushed membership delta: the event plus the full
+// view after it, so recipients need no follow-up Observe.
+type notifyArgs struct {
+	Group      string
+	Type       uint8
+	MemberRank uint32
+	MemberAddr string
+	View       viewResp
+}
+
+func (a *notifyArgs) Proc(p *mercury.Proc) error {
+	p.String(&a.Group)
+	p.Uint8(&a.Type)
+	p.Uint32(&a.MemberRank)
+	p.String(&a.MemberAddr)
+	return a.View.Proc(p)
+}
+
+func eventToArgs(group string, ev Event) notifyArgs {
+	return notifyArgs{
+		Group:      group,
+		Type:       uint8(ev.Type),
+		MemberRank: ev.Member.Rank,
+		MemberAddr: ev.Member.Addr,
+		View:       viewToResp(0, ev.View),
+	}
+}
+
+func argsToEvent(a *notifyArgs) Event {
+	return Event{
+		Type:   EventType(a.Type),
+		Member: Member{Rank: a.MemberRank, Addr: a.MemberAddr},
+		View:   respToView(a.Group, a.View),
+	}
+}
+
 // Handlers.
 
 func (h *Host) handleJoin(ctx *margo.Context) {
@@ -240,7 +523,10 @@ func (h *Host) handleJoin(ctx *margo.Context) {
 	if addr == "" {
 		addr = ctx.Origin()
 	}
-	rank, v := g.join(addr)
+	rank, v, changed := g.join(addr)
+	if changed {
+		h.enqueue(g.name, Event{Type: EventJoin, Member: Member{Rank: rank, Addr: addr}, View: v})
+	}
 	out := viewToResp(rank, v)
 	ctx.Respond(&out)
 }
@@ -260,10 +546,12 @@ func (h *Host) handleLeave(ctx *margo.Context) {
 	if addr == "" {
 		addr = ctx.Origin()
 	}
-	if !g.leave(addr) {
+	v, ok := g.leave(addr)
+	if !ok {
 		ctx.RespondError("%v: %s", ErrNotMember, addr)
 		return
 	}
+	h.enqueue(g.name, Event{Type: EventLeave, Member: Member{Addr: addr}, View: v})
 	ctx.Respond(mercury.Void{})
 }
 
@@ -279,6 +567,28 @@ func (h *Host) handleObserve(ctx *margo.Context) {
 		return
 	}
 	out := viewToResp(0, g.View())
+	ctx.Respond(&out)
+}
+
+// handleSubscribe registers the caller (or the address it names) as a
+// non-member observer: it receives every subsequent membership delta as
+// a pushed ssg_notify RPC.
+func (h *Host) handleSubscribe(ctx *margo.Context) {
+	var in groupArgs
+	if err := ctx.GetInput(&in); err != nil {
+		ctx.RespondError("ssg: %v", err)
+		return
+	}
+	g, ok := h.group(in.Group)
+	if !ok {
+		ctx.RespondError("%v: %s", ErrUnknownGroup, in.Group)
+		return
+	}
+	addr := in.Addr
+	if addr == "" {
+		addr = ctx.Origin()
+	}
+	out := viewToResp(0, g.subscribe(addr))
 	ctx.Respond(&out)
 }
 
@@ -320,6 +630,18 @@ func (c *Client) Observe(self *abt.ULT, root, group string) (View, error) {
 	var out viewResp
 	in := groupArgs{Group: group}
 	if err := c.inst.Forward(self, root, RPCObserve, &in, &out); err != nil {
+		return View{}, err
+	}
+	return respToView(group, out), nil
+}
+
+// Subscribe registers this process (or addr) for pushed membership
+// deltas without joining, returning the current view. The subscriber
+// must be able to service ssg_notify RPCs (see Agent).
+func (c *Client) Subscribe(self *abt.ULT, root, group, addr string) (View, error) {
+	var out viewResp
+	in := groupArgs{Group: group, Addr: addr}
+	if err := c.inst.Forward(self, root, RPCSubscribe, &in, &out); err != nil {
 		return View{}, err
 	}
 	return respToView(group, out), nil
