@@ -17,12 +17,15 @@ vet:
 # measurement collector, the Margo instrumentation that records into it
 # from many execution streams, the telemetry sampler/exposer that reads
 # it live, the policy engine fed by the sampler, the fabric's
-# completion-queue accessors and fault-injection plane, Mercury's
-# cancel-vs-response completion race, the abt scheduler whose
-# lock-free pool-depth mirror feeds admission control, and the batch
-# window/coalescer state machine, plus the elastic plane: the SSG
-# membership host/agent churned from many ULTs, the rendezvous ring,
-# and the ekv migration engine's dual-write/dirty-set machinery.
+# completion-queue accessors, per-destination delivery chains, and
+# fault-injection plane, Mercury's cancel-vs-response completion race,
+# the work-stealing abt scheduler (SPMC ring deques, the evsem
+# park/unpark handshake, ULT free-list recycling, and the lock-free
+# pool-depth mirrors feeding admission control — stressed directly by
+# the sched_test.go steal/park and lost-wakeup property tests), and
+# the batch window/coalescer state machine, plus the elastic plane:
+# the SSG membership host/agent churned from many ULTs, the rendezvous
+# ring, and the ekv migration engine's dual-write/dirty-set machinery.
 race:
 	$(GO) test -race ./internal/core/... ./internal/margo/... \
 		./internal/telemetry/... ./internal/policy/... ./internal/na/... \
@@ -36,7 +39,8 @@ race:
 check: vet race chaos-smoke overload-smoke analyze-smoke elastic-smoke build test bench-gate
 
 # bench-json measures the RPC hot path (proc codec, batch building,
-# unbatched vs coalesced forwards) and writes BENCH_<date>.json — the
+# scheduler quantum switches and contended pool handoffs, unbatched vs
+# coalesced forwards) and writes BENCH_<date>.json — the
 # machine-readable baseline the gate compares against. Regenerate and
 # commit it when a deliberate perf change shifts the numbers.
 bench-json:

@@ -23,6 +23,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"symbiosys/internal/abt"
@@ -195,6 +196,8 @@ func scenarios() []scenario {
 		{"proc_encode", runProcEncode},
 		{"proc_decode", runProcDecode},
 		{"batch_add", runBatchAdd},
+		{"quantum_switch", runQuantumSwitch},
+		{"pool_contention", runPoolContention},
 		{"forward_unbatched", func() ScenarioResult { return runForward(nil, 512, 1) }},
 		{"forward_batched_w64", func() ScenarioResult {
 			return runForward(&batch.Policy{MaxOps: 64, MaxDelay: 200 * time.Microsecond}, 4096, 64)
@@ -399,6 +402,72 @@ func runRouteLookup() ScenarioResult {
 			}
 		}
 	})
+}
+
+// runQuantumSwitch measures the scheduler's context-switch cost: one
+// execution stream running a detached ULT through a burst of yields.
+// Each op is one quantum switch (yield disposition, requeue into the
+// stream's local ring, next run grant); the free list and persistent
+// worker goroutine keep the steady state allocation-free, which the
+// gate's allocs/op comparison pins.
+func runQuantumSwitch() ScenarioResult {
+	rt := abt.NewRuntime()
+	p := rt.AddPool("main")
+	rt.AddXStreams("es", 1, p)
+	defer rt.Shutdown()
+
+	const yields = 256
+	done := make(chan struct{})
+	body := func(self *abt.ULT) {
+		for i := 0; i < yields; i++ {
+			self.Yield()
+		}
+		done <- struct{}{}
+	}
+	spawnRun := func() {
+		p.CreateDetached("q", body)
+		<-done
+	}
+	spawnRun() // warm the free list and worker goroutine
+	return measure("quantum_switch", 400, yields, spawnRun)
+}
+
+// runPoolContention measures the shared-pool handoff under contention:
+// four goroutines push detached ULTs into one pool drained by four
+// execution streams, exercising the inject queue, wake propagation,
+// steals, and park/unpark — the server-side dispatch path of a busy
+// handler pool.
+func runPoolContention() ScenarioResult {
+	rt := abt.NewRuntime()
+	p := rt.AddPool("main")
+	rt.AddXStreams("es", 4, p)
+	defer rt.Shutdown()
+
+	const batch = 256
+	const pushers = 4
+	done := make(chan struct{}, batch)
+	body := func(self *abt.ULT) {
+		self.Yield()
+		done <- struct{}{}
+	}
+	fn := func() {
+		var wg sync.WaitGroup
+		for g := 0; g < pushers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < batch/pushers; i++ {
+					p.CreateDetached("c", body)
+				}
+			}()
+		}
+		wg.Wait()
+		for i := 0; i < batch; i++ {
+			<-done
+		}
+	}
+	fn() // warm the free list and worker goroutines
+	return measure("pool_contention", 200, batch, fn)
 }
 
 // runForward measures end-to-end echo RPCs over the simulated fabric:

@@ -1,0 +1,62 @@
+package abt
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// evsem is a counting event semaphore: the futex-style park/unpark
+// primitive underneath every scheduler handoff (run-token grants, quantum
+// dispositions, XStream idle parking). The fast path is a single atomic
+// add; the channel is touched only when a waiter must actually sleep.
+//
+// Counting semantics matter: quantum dispositions can pile up when a
+// waker requeues a parked ULT before the granting stream has consumed the
+// park disposition, so a binary event would lose signals. state > 0 is
+// pending signals; state < 0 is sleeping waiters.
+type evsem struct {
+	state atomic.Int64
+	ch    chan struct{}
+}
+
+// waitSpins bounds the cooperative spin before a waiter commits to
+// sleeping on the channel. On the common single-quantum handoff the
+// signaler is already runnable, so yielding the processor once or twice
+// lets it publish the signal and keeps the entire handoff channel-free.
+const waitSpins = 2
+
+func (e *evsem) init() { e.ch = make(chan struct{}, 4) }
+
+// set publishes one signal, waking a sleeping waiter if there is one.
+func (e *evsem) set() {
+	if e.state.Add(1) <= 0 {
+		e.ch <- struct{}{}
+	}
+}
+
+// wait consumes one signal, sleeping until a set supplies it.
+func (e *evsem) wait() {
+	for i := 0; i < waitSpins; i++ {
+		if e.tryAcquire() {
+			return
+		}
+		runtime.Gosched()
+	}
+	if e.state.Add(-1) >= 0 {
+		return
+	}
+	<-e.ch
+}
+
+// tryAcquire consumes a pending signal without committing to sleep.
+func (e *evsem) tryAcquire() bool {
+	for {
+		s := e.state.Load()
+		if s <= 0 {
+			return false
+		}
+		if e.state.CompareAndSwap(s, s-1) {
+			return true
+		}
+	}
+}

@@ -6,27 +6,52 @@ import (
 	"time"
 )
 
-// Pool is a FIFO queue of ready ULTs, the analogue of an ABT_pool. ULTs
-// are created into a pool and return to it when they yield or are woken
-// from a blocking primitive. XStreams attach to one or more pools and
-// drain them.
+// freeListCap bounds the per-pool free list of recycled detached ULT
+// structs (each entry keeps a parked goroutine alive). Steady-state RPC
+// service reuses these, so handler dispatch allocates no scheduler
+// objects; overflow beyond the cap simply lets the goroutine exit.
+const freeListCap = 1024
+
+// Pool is a queue of ready ULTs, the analogue of an ABT_pool. ULTs are
+// created into a pool and return to it when they yield or are woken from
+// a blocking primitive.
+//
+// Structurally the pool is the shared inject/overflow queue of a
+// work-stealing scheduler: attached XStreams drain it in batches into
+// their private per-pool rings (see ring.go) and steal from each other's
+// rings when both their ring and the inject queue are empty. The pool
+// also tracks the parked-stream registry that implements the single-waker
+// push policy, and the free list that recycles detached ULT structs.
 //
 // Pools publish the metrics SYMBIOSYS samples when generating trace
-// events: the number of runnable ULTs currently queued, the number of
-// ULTs created from the pool that are blocked on a primitive, and
-// lifetime creation/execution counters.
+// events: the number of runnable ULTs (inject queue plus all local
+// rings), the number of ULTs created from the pool that are blocked on a
+// primitive, and lifetime creation/execution counters. All of them are
+// lock-free mirrors — admission control and telemetry never contend with
+// scheduling.
 type Pool struct {
 	name string
 
 	mu sync.Mutex
-	q  []*ULT
+	// q[qhead:] is the inject queue. Consumption advances qhead instead
+	// of copying; the backing array is reset when the queue empties, so
+	// dequeue is amortized O(1).
+	q     []*ULT
+	qhead int
+	// attached lists the streams draining this pool — the steal victims.
+	// It is copy-on-write: readers may hold a snapshot without the lock.
+	attached []*XStream
+	// idlers is a LIFO of streams parked waiting for this pool. Entries
+	// are hints: a waker pops until it wins a stream's park-state CAS.
+	idlers []*XStream
 
-	// subs holds the wake channels of attached XStreams; push notifies
-	// them so an idle stream re-examines its pools.
-	subs []chan struct{}
+	freeMu sync.Mutex
+	free   []*ULT
+	closed bool
 
-	// runnable mirrors len(q) so admission control and telemetry can
-	// read the queue depth without taking the pool lock on every RPC.
+	// injected mirrors the inject-queue length (cheap "should I refill"
+	// check for streams); runnable mirrors inject + every local ring.
+	injected atomic.Int64
 	runnable atomic.Int64
 
 	blocked  atomic.Int64
@@ -46,76 +71,221 @@ func (p *Pool) Name() string { return p.name }
 // Create spawns a new ULT running fn into the pool and returns its
 // handle. The ULT begins executing when an attached XStream dequeues it.
 func (p *Pool) Create(name string, fn Func) *ULT {
-	u := &ULT{
-		id:      nextULTID(),
-		name:    name,
-		fn:      fn,
-		pool:    p,
-		resume:  make(chan struct{}, 1),
-		notify:  make(chan signal, 1),
-		doneCh:  make(chan struct{}),
-		spawned: time.Now(),
-	}
+	u := newULT(name, fn, p, false)
 	p.created.Add(1)
 	p.push(u)
 	return u
 }
 
-// push enqueues a ready ULT and wakes one idle subscriber per waiting
-// stream (wake channels are buffered, so lost notifications cannot
-// occur: a stream always rechecks its pools after draining its channel).
+// CreateDetached spawns a fire-and-forget ULT, recycling a pooled struct
+// (and its goroutine) when one is free. No handle is returned: detached
+// ULTs cannot be joined, and their identity is reused after termination.
+// This is the RPC-handler spawn path — steady state allocates nothing.
+func (p *Pool) CreateDetached(name string, fn Func) {
+	u := p.takeFree()
+	if u == nil {
+		u = newULT(name, fn, p, true)
+	} else {
+		u.id = nextULTID()
+		u.name = name
+		u.fn = fn
+		u.spawned = time.Now()
+		u.firstRun = time.Time{}
+	}
+	p.created.Add(1)
+	p.push(u)
+}
+
+// push enqueues a ready ULT on the inject queue and wakes one parked
+// stream (single-waker policy: the woken stream wakes the next one if it
+// finds more work, so a burst fans out without a thundering herd).
 func (p *Pool) push(u *ULT) {
 	u.state.Store(int32(StateReady))
+	p.addRunnable(1)
+	p.enqueue(u)
+	p.wakeOne()
+}
+
+// enqueue appends to the inject queue without touching the runnable
+// mirror — the entry point for ring flushes, whose ULTs are already
+// counted.
+func (p *Pool) enqueue(u *ULT) {
 	p.mu.Lock()
 	p.q = append(p.q, u)
-	n := int64(len(p.q))
-	p.runnable.Store(n)
-	if n > p.sizeHWM.Load() {
-		p.sizeHWM.Store(n)
-	}
-	subs := p.subs
+	p.injected.Add(1)
 	p.mu.Unlock()
-	for _, ch := range subs {
-		select {
-		case ch <- struct{}{}:
-		default:
+}
+
+// grab moves up to len(dst) ULTs from the inject queue into dst,
+// returning how many. Runnable accounting is untouched: the caller is
+// transferring them into its local ring, where they stay ready.
+func (p *Pool) grab(dst []*ULT) int {
+	p.mu.Lock()
+	n := len(p.q) - p.qhead
+	if n == 0 {
+		p.mu.Unlock()
+		return 0
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = p.q[p.qhead]
+		p.q[p.qhead] = nil
+		p.qhead++
+	}
+	if p.qhead == len(p.q) {
+		p.q = p.q[:0]
+		p.qhead = 0
+	}
+	p.injected.Add(int64(-n))
+	p.mu.Unlock()
+	return n
+}
+
+// addRunnable maintains the lock-free depth mirror and its high
+// watermark.
+func (p *Pool) addRunnable(d int64) {
+	n := p.runnable.Add(d)
+	if d > 0 {
+		for {
+			cur := p.sizeHWM.Load()
+			if n <= cur || p.sizeHWM.CompareAndSwap(cur, n) {
+				return
+			}
 		}
 	}
 }
 
-// pop dequeues the oldest ready ULT, or nil if the pool is empty.
-func (p *Pool) pop() *ULT {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.q) == 0 {
-		return nil
+// wakeOne wakes at most one parked stream. Idler entries are hints;
+// popping continues until a CAS transitions a stream parked→awake (the
+// CAS is what guarantees one token per park) or the list empties.
+func (p *Pool) wakeOne() {
+	for {
+		p.mu.Lock()
+		n := len(p.idlers)
+		if n == 0 {
+			p.mu.Unlock()
+			return
+		}
+		x := p.idlers[n-1]
+		p.idlers[n-1] = nil
+		p.idlers = p.idlers[:n-1]
+		if i := x.poolIndex(p); i >= 0 {
+			x.idlerReg[i] = false // guarded by p.mu, like the set
+		}
+		p.mu.Unlock()
+		if x.parkState.CompareAndSwap(xsParked, xsAwake) {
+			x.wakes.Add(1)
+			x.parkSem.set()
+			return
+		}
 	}
-	u := p.q[0]
-	// Avoid retaining the popped ULT through the backing array.
-	copy(p.q, p.q[1:])
-	p.q[len(p.q)-1] = nil
-	p.q = p.q[:len(p.q)-1]
-	p.runnable.Store(int64(len(p.q)))
-	return u
 }
 
-// subscribe registers an XStream wake channel.
-func (p *Pool) subscribe(ch chan struct{}) {
+// addIdler registers a stream about to park. The caller must already
+// have stored xsParked so a concurrent waker's CAS cannot miss it. The
+// per-(stream, pool) flag — only ever touched under this pool's mutex —
+// dedupes registration: a stream woken through one pool keeps its live
+// entry in the others instead of accreting duplicates park after park.
+func (p *Pool) addIdler(x *XStream, slot int) {
 	p.mu.Lock()
-	p.subs = append(p.subs, ch)
+	if !x.idlerReg[slot] {
+		x.idlerReg[slot] = true
+		p.idlers = append(p.idlers, x)
+	}
 	p.mu.Unlock()
 }
 
-// Len reports the number of runnable ULTs currently queued.
-func (p *Pool) Len() int {
+// attach registers a stream as a drainer (and steal victim) of the pool.
+func (p *Pool) attach(x *XStream) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.q)
+	next := make([]*XStream, len(p.attached)+1)
+	copy(next, p.attached)
+	next[len(next)-1] = x
+	p.attached = next
+	p.mu.Unlock()
 }
 
-// Runnable reports the runnable-queue depth from a lock-free mirror of
-// len(q). Admission control reads this on every incoming request, so it
-// must not contend with the scheduler's push/pop path.
+// detach removes a stopped stream from the steal-victim set. This is the
+// counterpart subscribe never had: before it, elastic resize grew the
+// wake list without bound and every push paid for dead streams.
+func (p *Pool) detach(x *XStream) {
+	p.mu.Lock()
+	next := make([]*XStream, 0, len(p.attached))
+	for _, v := range p.attached {
+		if v != x {
+			next = append(next, v)
+		}
+	}
+	p.attached = next
+	p.mu.Unlock()
+}
+
+// victims returns the current steal-victim snapshot without holding the
+// lock during the steal scan (the slice is copy-on-write).
+func (p *Pool) victims() []*XStream {
+	p.mu.Lock()
+	v := p.attached
+	p.mu.Unlock()
+	return v
+}
+
+// takeFree pops a recycled detached ULT, or nil.
+func (p *Pool) takeFree() *ULT {
+	p.freeMu.Lock()
+	n := len(p.free)
+	if n == 0 {
+		p.freeMu.Unlock()
+		return nil
+	}
+	u := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	p.freeMu.Unlock()
+	return u
+}
+
+// recycle returns a terminated detached ULT to the free list, or lets
+// its goroutine die when the list is full or the pool shut down. The
+// caller has already cleared fn.
+func (p *Pool) recycle(u *ULT) {
+	p.freeMu.Lock()
+	if p.closed || len(p.free) >= freeListCap {
+		p.freeMu.Unlock()
+		u.runGate.set() // worker sees fn == nil and exits
+		return
+	}
+	p.free = append(p.free, u)
+	p.freeMu.Unlock()
+}
+
+// drainFree releases every pooled worker goroutine (Runtime.Shutdown).
+func (p *Pool) drainFree() {
+	p.freeMu.Lock()
+	p.closed = true
+	free := p.free
+	p.free = nil
+	p.freeMu.Unlock()
+	for _, u := range free {
+		u.runGate.set()
+	}
+}
+
+// FreeListLen reports how many recycled detached ULTs are pooled.
+func (p *Pool) FreeListLen() int {
+	p.freeMu.Lock()
+	defer p.freeMu.Unlock()
+	return len(p.free)
+}
+
+// Len reports the number of runnable ULTs currently queued (inject queue
+// plus local rings), from the lock-free mirror.
+func (p *Pool) Len() int { return int(p.runnable.Load()) }
+
+// Runnable reports the runnable depth from a lock-free mirror. Admission
+// control reads this on every incoming request, so it must not contend
+// with the scheduler's push/pop path.
 func (p *Pool) Runnable() int64 { return p.runnable.Load() }
 
 // Blocked reports the number of ULTs created from this pool that are
@@ -129,7 +299,7 @@ func (p *Pool) Created() uint64 { return p.created.Load() }
 // Executed reports the lifetime number of ULTs that ran to completion.
 func (p *Pool) Executed() uint64 { return p.executed.Load() }
 
-// SizeHighWatermark reports the largest runnable-queue length observed.
+// SizeHighWatermark reports the largest runnable depth observed.
 func (p *Pool) SizeHighWatermark() int64 { return p.sizeHWM.Load() }
 
 // Stats is a point-in-time snapshot of pool metrics.
@@ -142,10 +312,11 @@ type Stats struct {
 }
 
 // Snapshot returns a consistent-enough view of the pool counters for
-// trace-event annotation.
+// trace-event annotation. Every field reads a lock-free mirror, so
+// measurement never contends with scheduling.
 func (p *Pool) Snapshot() Stats {
 	return Stats{
-		Runnable: p.Len(),
+		Runnable: int(p.runnable.Load()),
 		Blocked:  p.Blocked(),
 		Created:  p.Created(),
 		Executed: p.Executed(),

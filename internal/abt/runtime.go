@@ -71,8 +71,9 @@ func (r *Runtime) NumXStreams() int {
 	return len(r.xstreams)
 }
 
-// Shutdown stops all execution streams. Work still queued or parked is
-// abandoned; callers join their ULTs before shutting down.
+// Shutdown stops all execution streams and releases the pooled detached
+// worker goroutines. Work still queued or parked is abandoned; callers
+// join their ULTs before shutting down.
 func (r *Runtime) Shutdown() {
 	r.mu.Lock()
 	if r.stopped {
@@ -81,6 +82,10 @@ func (r *Runtime) Shutdown() {
 	}
 	r.stopped = true
 	xs := r.xstreams
+	pools := make([]*Pool, 0, len(r.pools))
+	for _, p := range r.pools {
+		pools = append(pools, p)
+	}
 	r.mu.Unlock()
 	var wg sync.WaitGroup
 	for _, x := range xs {
@@ -91,4 +96,32 @@ func (r *Runtime) Shutdown() {
 		}(x)
 	}
 	wg.Wait()
+	for _, p := range pools {
+		p.drainFree()
+	}
+}
+
+// SchedStats aggregates scheduler activity across the runtime's streams:
+// the steal/park/wake transitions the telemetry plane exports so ES
+// sizing (the paper's C1/C2 knob) is observable live.
+type SchedStats struct {
+	Quanta uint64 // scheduling quanta executed
+	Steals uint64 // ULTs taken from sibling rings
+	Parks  uint64 // times a stream slept waiting for work
+	Wakes  uint64 // single-waker tokens delivered
+}
+
+// SchedStats sums the per-stream scheduler counters.
+func (r *Runtime) SchedStats() SchedStats {
+	r.mu.Lock()
+	xs := r.xstreams
+	r.mu.Unlock()
+	var s SchedStats
+	for _, x := range xs {
+		s.Quanta += x.Quanta()
+		s.Steals += x.Steals()
+		s.Parks += x.Parks()
+		s.Wakes += x.Wakes()
+	}
+	return s
 }

@@ -11,46 +11,68 @@ import (
 // own handle so the body can yield, block, and reach ULT-local storage.
 type Func func(self *ULT)
 
-// signal values sent from a ULT to the XStream hosting its quantum.
-type signal int8
-
-const (
-	sigYield signal = iota // ULT is ready again; push it back on its pool
-	sigBlock               // ULT parked on a primitive; a waker will requeue it
-	sigDone                // ULT terminated
-)
-
 // ULT is a user-level thread: a unit of cooperative work created into a
 // Pool and executed by XStreams. A ULT runs only while it holds the run
 // token granted by an XStream; Yield, blocking primitives, and
 // termination return the token.
+//
+// The token handoff is two counting event semaphores: runGate grants the
+// token to the ULT goroutine, dispGate returns it to a hosting stream.
+// Dispositions are context-free — a stream receiving a disposition signal
+// does not need to know which quantum produced it. The only disposition
+// requiring stream-side action, "requeue after yield", travels as a
+// pending count claimed by CAS, so even when a waker requeues a parked
+// ULT and a second stream starts the next quantum before the first stream
+// consumed the park disposition, exactly one stream performs the requeue.
 type ULT struct {
 	id   uint64
 	name string
 	fn   Func
 	pool *Pool
 
-	// resume grants the run token; notify returns it with a disposition.
-	// Both are buffered so token handoff never blocks the sender.
-	resume chan struct{}
-	notify chan signal
+	runGate  evsem
+	dispGate evsem
+	// yieldPending counts yields awaiting a stream-side requeue; the
+	// stream that wins the decrement CAS requeues.
+	yieldPending atomic.Int32
+
+	// detached ULTs have no handle, cannot be joined, and recycle their
+	// struct and goroutine through the pool free list.
+	detached bool
 
 	started  atomic.Bool
 	state    atomic.Int32
 	spawned  time.Time
 	firstRun time.Time
 
-	doneCh chan struct{}
+	doneCh chan struct{} // nil for detached ULTs
 	panicV any
 
-	// locals is ULT-local storage, the analogue of ABT_key. It is only
-	// accessed from the ULT itself while running, so it needs no lock.
+	// locals is ULT-local storage, the analogue of ABT_key. Recycled
+	// detached ULTs keep the map allocation and clear the entries.
 	localMu sync.Mutex
 	locals  map[any]any
 
 	// joiners are ULTs parked in Join waiting for this ULT to finish.
 	joinMu  sync.Mutex
 	joiners []*ULT
+}
+
+func newULT(name string, fn Func, p *Pool, detached bool) *ULT {
+	u := &ULT{
+		id:       nextULTID(),
+		name:     name,
+		fn:       fn,
+		pool:     p,
+		detached: detached,
+		spawned:  time.Now(),
+	}
+	u.runGate.init()
+	u.dispGate.init()
+	if !detached {
+		u.doneCh = make(chan struct{})
+	}
+	return u
 }
 
 // ID returns the runtime-unique identifier of the ULT.
@@ -113,17 +135,32 @@ func (u *ULT) Local(key any) (any, bool) {
 // on its pool, letting equal-priority work run.
 func (u *ULT) Yield() {
 	u.state.Store(int32(StateReady))
-	u.notify <- sigYield
-	<-u.resume
+	u.yieldPending.Add(1)
+	u.dispGate.set()
+	u.runGate.wait()
 	u.state.Store(int32(StateRunning))
+}
+
+// claimYield consumes one pending requeue-after-yield, reporting whether
+// the calling stream won it.
+func (u *ULT) claimYield() bool {
+	for {
+		n := u.yieldPending.Load()
+		if n == 0 {
+			return false
+		}
+		if u.yieldPending.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
 }
 
 // park releases the XStream without requeueing; the caller must have
 // arranged for a waker to call u.ready() exactly once.
 func (u *ULT) park() {
 	u.state.Store(int32(StateBlocked))
-	u.notify <- sigBlock
-	<-u.resume
+	u.dispGate.set()
+	u.runGate.wait()
 	u.state.Store(int32(StateRunning))
 }
 
@@ -134,20 +171,23 @@ func (u *ULT) ready() {
 	u.pool.push(u)
 }
 
-// main is the goroutine body backing the ULT. It waits for its first run
-// token, executes fn, and reports termination.
+// run executes the body, capturing panics.
+func (u *ULT) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			u.panicV = r
+		}
+	}()
+	u.fn(u)
+}
+
+// main is the goroutine body backing a joinable ULT. It waits for its
+// first run token, executes fn once, and reports termination.
 func (u *ULT) main() {
-	<-u.resume
+	u.runGate.wait()
 	u.firstRun = time.Now()
 	u.state.Store(int32(StateRunning))
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				u.panicV = r
-			}
-		}()
-		u.fn(u)
-	}()
+	u.run()
 	u.state.Store(int32(StateTerminated))
 	u.pool.executed.Add(1)
 	u.joinMu.Lock()
@@ -158,7 +198,32 @@ func (u *ULT) main() {
 	for _, j := range joiners {
 		j.ready()
 	}
-	u.notify <- sigDone
+	u.dispGate.set()
+}
+
+// mainDetached backs a detached ULT: a persistent worker that runs one
+// body per life, returns its struct to the pool free list, and parks for
+// the next life's token. fn == nil is the shutdown poison pill.
+func (u *ULT) mainDetached() {
+	for {
+		u.runGate.wait()
+		if u.fn == nil {
+			return
+		}
+		u.firstRun = time.Now()
+		u.state.Store(int32(StateRunning))
+		u.run()
+		u.state.Store(int32(StateTerminated))
+		pool := u.pool
+		pool.executed.Add(1)
+		u.fn = nil
+		u.panicV = nil
+		if u.locals != nil {
+			clear(u.locals)
+		}
+		u.dispGate.set()
+		pool.recycle(u)
+	}
 }
 
 // Join blocks until u terminates. When called from inside another ULT,

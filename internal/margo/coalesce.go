@@ -542,7 +542,7 @@ func (fl *batchFlight) completeOp(op *batchOp, err error, t14 time.Time, stage c
 	group := op.group
 	op.out, op.res, op.group = nil, nil, nil
 	batchOpPool.Put(op)
-	i.rpcsInFlight.Add(-1)
+	i.rpcDone()
 	group.done()
 }
 

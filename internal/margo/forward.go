@@ -126,7 +126,7 @@ func (i *Instance) forward(self *abt.ULT, target, rpcName string, in, out mercur
 	// One in-flight slot per logical forward, however many attempts it
 	// takes; the deferred decrement cannot be lost to an early return.
 	i.rpcsInFlight.Add(1)
-	defer i.rpcsInFlight.Add(-1)
+	defer i.rpcDone()
 
 	timeout := opts.Timeout
 	if dlNanos != 0 {

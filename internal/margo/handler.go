@@ -196,8 +196,11 @@ func (i *Instance) Register(rpcName string, fn HandlerFunc) error {
 			return
 		}
 		i.handlersInFlight.Add(1)
-		// Spawn the handler ULT (t4) and return immediately.
-		i.handlerPool.Create(rpcName, func(self *abt.ULT) {
+		// Spawn the handler ULT (t4) detached and return immediately:
+		// nothing joins handler ULTs, so the scheduler recycles their
+		// structs and goroutines — steady-state dispatch allocates only
+		// this closure.
+		i.handlerPool.CreateDetached(rpcName, func(self *abt.ULT) {
 			defer i.handlersInFlight.Add(-1)
 			i.runHandler(self, mh, rpcName, fn)
 		})

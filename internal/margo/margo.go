@@ -39,6 +39,10 @@ const (
 	PVarNumRequestsShed        = "num_requests_shed"
 	PVarNumRequestsExpired     = "num_requests_expired"
 	PVarNumBreakerTrips        = "num_breaker_trips"
+	// Progress-engine transitions (spin-then-park adaptive loop), exposed
+	// so the policy engine can actuate the spin budget later.
+	PVarNumProgressSpinPolls = "num_progress_spin_polls"
+	PVarNumProgressParks     = "num_progress_parks"
 )
 
 // Mode selects client or server behaviour for an instance.
@@ -75,8 +79,16 @@ type Options struct {
 	Stage core.Stage
 
 	// ProgressTimeout bounds how long an idle progress pass blocks
-	// waiting for network events. Default 500µs.
+	// waiting for network events — the ceiling of the idle backoff.
+	// Default 500µs.
 	ProgressTimeout time.Duration
+
+	// ProgressSpin is how many consecutive empty poll-and-yield passes
+	// the progress loop spins through before it starts parking in
+	// blocking waits. Spinning keeps completion latency at poll
+	// granularity while traffic flows; the budget bounds the CPU an
+	// idle instance burns before backing off. Default 256.
+	ProgressSpin int
 
 	// TriggerBatch bounds callbacks executed per progress pass.
 	// Default 256.
@@ -130,6 +142,9 @@ func (o *Options) fillDefaults() {
 	if o.ProgressTimeout <= 0 {
 		o.ProgressTimeout = 500 * time.Microsecond
 	}
+	if o.ProgressSpin <= 0 {
+		o.ProgressSpin = 256
+	}
 	if o.TriggerBatch <= 0 {
 		o.TriggerBatch = 256
 	}
@@ -160,7 +175,16 @@ type Instance struct {
 	progressULT *abt.ULT
 	stopping    atomic.Bool
 
+	// Progress-engine state: lifetime spin-poll and park counters
+	// (exported as PVARs and telemetry series).
+	progressSpinsTotal atomic.Uint64
+	progressParksTotal atomic.Uint64
+
 	rpcsInFlight atomic.Int64
+	// idleCh, when non-nil, is closed by the forward that drives
+	// rpcsInFlight to zero; WaitIdle parks on it instead of polling.
+	idleMu sync.Mutex
+	idleCh chan struct{}
 
 	// Client-side resilience state (Options.Retry) and its lifetime
 	// counters, also exported as PVARs and telemetry series.
@@ -299,6 +323,12 @@ func New(opts Options) (*Instance, error) {
 	inst.hg.PVars().RegisterGlobal(PVarNumBreakerTrips,
 		"circuit breaker closed-to-open transitions on the client side",
 		pvar.ClassCounter, inst.breakerTripsTotal.Load)
+	inst.hg.PVars().RegisterGlobal(PVarNumProgressSpinPolls,
+		"empty non-blocking polls the adaptive progress loop spun through",
+		pvar.ClassCounter, inst.progressSpinsTotal.Load)
+	inst.hg.PVars().RegisterGlobal(PVarNumProgressParks,
+		"blocking completion-queue waits the progress loop parked in",
+		pvar.ClassCounter, inst.progressParksTotal.Load)
 	inst.hg.PVars().RegisterGlobal(PVarNumBatchesFlushed,
 		"coalescer windows flushed as vectored forwards",
 		pvar.ClassCounter, inst.batchStats.Flushes)
@@ -364,19 +394,43 @@ func (i *Instance) SetStage(s core.Stage) { i.prof.SetStage(s) }
 
 // progressLoop is the Mercury progress ULT (paper §V-C4): it reads up to
 // OFI_max_events completion events per pass, fires completion callbacks,
-// and yields so colocated ULTs can run. When nothing else is runnable in
-// its pool it blocks briefly in Progress, releasing the CPU but — by
-// design, to avoid context switching — not the execution stream.
+// and yields so colocated ULTs can run.
+//
+// The engine is adaptive, spin-then-park: while events flow (or other
+// ULTs wait for this stream) every pass is a non-blocking poll plus a
+// yield, which keeps completion latency at poll granularity instead of
+// timer granularity. Only after ProgressSpin consecutive empty passes
+// does the loop start blocking inside the na completion-queue wait, with
+// the timeout backing off exponentially to ProgressTimeout so an idle
+// instance releases the CPU. Any delivered event or runnable neighbor
+// snaps it back to spinning. The spin/park transitions are exported as
+// PVARs (num_progress_spin_polls, num_progress_parks) so the policy
+// engine can observe and later actuate the budget.
 func (i *Instance) progressLoop(self *abt.ULT) {
+	spin := 0
+	backoff := i.opts.ProgressTimeout
 	for !i.stopping.Load() {
-		timeout := i.opts.ProgressTimeout
-		if i.progressPool.Len() > 0 {
-			// Other ULTs are waiting for this stream: poll without
-			// blocking so they are not starved longer than one pass.
-			timeout = 0
+		shared := i.progressPool.Runnable() > 0
+		timeout := time.Duration(0)
+		if !shared && spin >= i.opts.ProgressSpin {
+			// Idle past the spin budget: park in the completion-queue
+			// wait, doubling toward the ProgressTimeout ceiling.
+			backoff *= 2
+			if backoff > i.opts.ProgressTimeout {
+				backoff = i.opts.ProgressTimeout
+			}
+			timeout = backoff
+			i.progressParksTotal.Add(1)
 		}
-		i.hg.Progress(timeout)
-		i.hg.Trigger(i.opts.TriggerBatch)
+		moved := i.hg.Progress(timeout)
+		moved += i.hg.Trigger(i.opts.TriggerBatch)
+		if moved > 0 || shared {
+			spin = 0
+			backoff = i.opts.ProgressTimeout / 16
+		} else if spin < i.opts.ProgressSpin {
+			spin++
+			i.progressSpinsTotal.Add(1)
+		}
 		self.Yield()
 	}
 }
@@ -414,16 +468,50 @@ func (i *Instance) SetOFIMaxEvents(n int) { i.hg.SetOFIMaxEvents(n) }
 func (i *Instance) InFlight() int64 { return i.rpcsInFlight.Load() }
 
 // WaitIdle blocks until no RPCs are in flight or the timeout expires,
-// reporting whether the instance went idle.
+// reporting whether the instance went idle. The wait parks on the
+// in-flight-count event the completing forward signals — no polling, no
+// latency jitter from sleep quantization.
 func (i *Instance) WaitIdle(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	if i.rpcsInFlight.Load() == 0 {
+		return true
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		i.idleMu.Lock()
+		if i.idleCh == nil {
+			i.idleCh = make(chan struct{})
+		}
+		ch := i.idleCh
+		i.idleMu.Unlock()
+		// Recheck after registering: the closing decrement either sees
+		// the channel (and closes it) or happened before this load.
 		if i.rpcsInFlight.Load() == 0 {
 			return true
 		}
-		time.Sleep(200 * time.Microsecond)
+		select {
+		case <-ch:
+			if i.rpcsInFlight.Load() == 0 {
+				return true
+			}
+		case <-deadline.C:
+			return i.rpcsInFlight.Load() == 0
+		}
 	}
-	return i.rpcsInFlight.Load() == 0
+}
+
+// rpcDone releases one in-flight slot and, on the transition to zero,
+// wakes WaitIdle parkers.
+func (i *Instance) rpcDone() {
+	if i.rpcsInFlight.Add(-1) != 0 {
+		return
+	}
+	i.idleMu.Lock()
+	if i.idleCh != nil {
+		close(i.idleCh)
+		i.idleCh = nil
+	}
+	i.idleMu.Unlock()
 }
 
 // AddTraceSink attaches a streaming consumer of this instance's trace
@@ -473,6 +561,8 @@ func (i *Instance) initPVarSession() {
 		PVarNumRequestsShed,
 		PVarNumRequestsExpired,
 		PVarNumBreakerTrips,
+		PVarNumProgressSpinPolls,
+		PVarNumProgressParks,
 	} {
 		h, err := i.session.AllocHandleByName(name)
 		if err != nil {
@@ -572,7 +662,7 @@ func (i *Instance) samplePVars(mh *mercury.Handle) *core.PVarSample {
 // handler pool on targets, the main pool on origins).
 func (i *Instance) sysSample(pool *abt.Pool) core.SysSample {
 	s := i.sys.Sample()
-	s.PoolRunnable = int64(pool.Len())
+	s.PoolRunnable = pool.Runnable()
 	s.PoolBlocked = pool.Blocked()
 	return s
 }

@@ -59,6 +59,14 @@ func (i *Instance) TelemetrySample() telemetry.Sample {
 		s.BatchFlushReasons = bs.FlushReasons
 	}
 
+	sched := i.rt.SchedStats()
+	s.SchedQuanta = sched.Quanta
+	s.SchedSteals = sched.Steals
+	s.SchedParks = sched.Parks
+	s.SchedWakes = sched.Wakes
+	s.ProgressSpinPolls = i.progressSpinsTotal.Load()
+	s.ProgressParks = i.progressParksTotal.Load()
+
 	sys := i.sys.Sample()
 	s.HeapBytes = sys.HeapBytes
 	s.Goroutines = sys.Goroutines

@@ -95,6 +95,12 @@ type Class struct {
 	cmu         sync.Mutex
 	completions []completion
 
+	// evBuf is the reusable event buffer for Progress's bounded read,
+	// guarded by progMu (one progress ULT drives Progress in practice,
+	// but nothing enforces that at this layer).
+	progMu sync.Mutex
+	evBuf  []na.Event
+
 	pvars *pvar.Registry
 
 	// PVAR backing values (Table II).
@@ -221,14 +227,22 @@ func (c *Class) enqueue(fn func(enqueued time.Time)) {
 // events read — the value of the num_ofi_events_read PVAR.
 func (c *Class) Progress(timeout time.Duration) int {
 	max := int(c.ofiMax.Load())
-	evs := c.ep.Poll(max)
+	c.progMu.Lock()
+	defer c.progMu.Unlock()
+	evs := c.ep.PollInto(c.evBuf, max)
 	if len(evs) == 0 && timeout > 0 && c.ep.Wait(timeout) {
-		evs = c.ep.Poll(max)
+		evs = c.ep.PollInto(c.evBuf, max)
+	}
+	if cap(evs) > cap(c.evBuf) {
+		c.evBuf = evs[:0]
 	}
 	c.ofiRead.Set(int64(len(evs)))
 	for _, ev := range evs {
 		c.dispatch(ev)
 	}
+	// Drop message and context references so the retained buffer does
+	// not pin payloads of already-dispatched events.
+	clear(evs)
 	return len(evs)
 }
 

@@ -14,6 +14,13 @@ type completionQueue struct {
 	cap   int
 	notif chan struct{}
 
+	// timer is reused across wait calls: the adaptive progress engine
+	// parks here on every idle backoff, and a fresh time.Timer per park
+	// would put an allocation on the scheduler's idle path. Guarded by
+	// timerMu — wait may be called from concurrent progress loops.
+	timerMu sync.Mutex
+	timer   *time.Timer
+
 	overflows atomic.Uint64
 	posted    atomic.Uint64
 	read      atomic.Uint64
@@ -45,6 +52,13 @@ func (c *completionQueue) post(ev Event) {
 }
 
 func (c *completionQueue) poll(max int) []Event {
+	return c.pollInto(nil, max)
+}
+
+// pollInto is poll writing into the caller's buffer (reused across
+// progress iterations so the steady-state drain does not allocate).
+// A nil buf falls back to allocating.
+func (c *completionQueue) pollInto(buf []Event, max int) []Event {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.q) == 0 || max <= 0 {
@@ -54,7 +68,12 @@ func (c *completionQueue) poll(max int) []Event {
 	if n > len(c.q) {
 		n = len(c.q)
 	}
-	out := make([]Event, n)
+	var out []Event
+	if cap(buf) >= n {
+		out = buf[:n]
+	} else {
+		out = make([]Event, n)
+	}
 	copy(out, c.q[:n])
 	rest := copy(c.q, c.q[n:])
 	for i := rest; i < len(c.q); i++ {
@@ -80,22 +99,39 @@ func (c *completionQueue) wait(timeout time.Duration) bool {
 	if timeout <= 0 {
 		return false
 	}
+	c.timerMu.Lock()
+	defer c.timerMu.Unlock()
+	if c.timer == nil {
+		c.timer = time.NewTimer(timeout)
+	} else {
+		c.timer.Reset(timeout)
+	}
 	deadline := time.Now().Add(timeout)
 	for {
-		remain := time.Until(deadline)
-		if remain <= 0 {
+		if time.Until(deadline) <= 0 {
+			c.stopTimer()
 			return c.len() > 0
 		}
-		t := time.NewTimer(remain)
 		select {
 		case <-c.notif:
-			t.Stop()
 			if c.len() > 0 {
+				c.stopTimer()
 				return true
 			}
 			// Notification raced with a concurrent poll; keep waiting.
-		case <-t.C:
+		case <-c.timer.C:
 			return c.len() > 0
+		}
+	}
+}
+
+// stopTimer quiesces the shared timer so the next Reset starts clean.
+// Called with timerMu held and the timer non-nil.
+func (c *completionQueue) stopTimer() {
+	if !c.timer.Stop() {
+		select {
+		case <-c.timer.C:
+		default:
 		}
 	}
 }

@@ -134,17 +134,16 @@ func (f *Fabric) delay(srcNode, dstNode string, size int) time.Duration {
 	return d
 }
 
-// after schedules fn once the modeled delay has elapsed.
-//
-// Deliveries always go through the runtime timer even for µs-scale
-// modeled delays. On an idle host the timer wake granularity (~1ms)
-// then acts as a *uniform* inflation of every hop's latency — a
-// constant scale factor on the fabric, which preserves the relative
-// behavior of the experiments. The alternative (immediate goroutine
-// handoff for short delays) delivers faster but makes host scheduler
-// contention, not the modeled fabric and progress-loop dynamics, the
-// dominant effect on a small host — distorting exactly the phenomena
-// the paper studies.
+// after schedules fn once the modeled delay has elapsed (RDMA path;
+// message sends ride the per-destination sendChain instead). Work
+// always goes through the runtime timer even for µs-scale modeled
+// delays. On an idle host the timer wake granularity (~1ms) then acts
+// as a *uniform* inflation of every hop's latency — a constant scale
+// factor on the fabric, which preserves the relative behavior of the
+// experiments. The alternative (immediate goroutine handoff for short
+// delays) delivers faster but makes host scheduler contention, not the
+// modeled fabric and progress-loop dynamics, the dominant effect on a
+// small host — distorting exactly the phenomena the paper studies.
 func after(d time.Duration, fn func()) {
 	time.AfterFunc(d, fn)
 }
@@ -222,10 +221,11 @@ type Endpoint struct {
 	nextID atomic.Uint64
 
 	// chainMu guards per-destination delivery chains that preserve
-	// point-to-point message ordering (as HPC fabrics do) even though
-	// timer callbacks fire in arbitrary order.
+	// point-to-point message ordering (as HPC fabrics do). Each chain
+	// owns a FIFO of pending deliveries and one reusable timer, so a
+	// steady-state send costs no timer, channel, or closure allocations.
 	chainMu sync.Mutex
-	chains  map[string]chan struct{}
+	chains  map[string]*sendChain
 
 	sends atomic.Uint64
 	recvs atomic.Uint64
@@ -281,39 +281,122 @@ func (e *Endpoint) Send(to string, tag uint64, data []byte, ctx any) {
 	}
 	d := e.fabric.delay(e.node, dst.node, len(data)) + fault.delay
 	msg := &Message{From: e.addr, To: to, Tag: tag, Data: data}
+	e.chainFor(to).add(delivery{
+		dst:  dst,
+		msg:  msg,
+		ctx:  ctx,
+		due:  time.Now().Add(d),
+		drop: fault.drop,
+		dup:  fault.dup,
+	})
+}
 
-	// Link this delivery behind the previous one to the same peer so
-	// point-to-point ordering holds regardless of timer firing order.
+// chainFor returns the delivery chain toward one destination address,
+// creating it on first use.
+func (e *Endpoint) chainFor(to string) *sendChain {
 	e.chainMu.Lock()
+	defer e.chainMu.Unlock()
 	if e.chains == nil {
-		e.chains = make(map[string]chan struct{})
+		e.chains = make(map[string]*sendChain)
 	}
-	prev := e.chains[to]
-	mine := make(chan struct{})
-	e.chains[to] = mine
-	e.chainMu.Unlock()
+	sc := e.chains[to]
+	if sc == nil {
+		sc = &sendChain{src: e}
+		sc.pumpFn = sc.pump
+		e.chains[to] = sc
+	}
+	return sc
+}
 
-	after(d, func() {
-		if prev != nil {
-			<-prev
+// delivery is one in-flight message awaiting its modeled transfer delay.
+type delivery struct {
+	dst  *Endpoint
+	msg  *Message
+	ctx  any
+	due  time.Time
+	drop bool
+	dup  bool
+}
+
+// sendChain serializes deliveries from one endpoint to one destination
+// address so point-to-point ordering holds (as HPC fabrics guarantee):
+// entry i is delivered at max(its modeled arrival time, delivery of
+// entry i-1). A single timer is re-armed for the head of the FIFO —
+// the per-message timer+channel+closure trio this replaces dominated
+// the allocation profile of the RPC hot path.
+//
+// Deliveries still always ride the runtime timer, even for µs-scale
+// modeled delays. On an idle host the timer wake granularity then acts
+// as a *uniform* inflation of every hop's latency — a constant scale
+// factor on the fabric, preserving the relative behavior of the
+// experiments — while a spinning progress engine on the receiving side
+// absorbs it entirely (see margo's progress loop).
+type sendChain struct {
+	src    *Endpoint
+	mu     sync.Mutex
+	q      []delivery
+	qhead  int
+	timer  *time.Timer
+	armed  bool
+	pumpFn func() // == pump; bound once so re-arming never allocates
+}
+
+func (sc *sendChain) add(d delivery) {
+	sc.mu.Lock()
+	sc.q = append(sc.q, d)
+	if !sc.armed {
+		sc.armed = true
+		wait := time.Until(d.due)
+		if sc.timer == nil {
+			sc.timer = time.AfterFunc(wait, sc.pumpFn)
+		} else {
+			sc.timer.Reset(wait)
 		}
-		defer close(mine)
-		if dst.closed.Load() {
-			e.cq.post(Event{Kind: EvError, Ctx: ctx, Err: fmt.Errorf("%w: %s", ErrClosed, to)})
+	}
+	sc.mu.Unlock()
+}
+
+// pump delivers every due entry in FIFO order, then either re-arms the
+// timer for the head of the remaining queue or goes idle. Runs in the
+// timer goroutine; cq.post never blocks, so holding mu across delivery
+// is safe and keeps ordering trivially correct.
+func (sc *sendChain) pump() {
+	sc.mu.Lock()
+	for sc.qhead < len(sc.q) {
+		d := sc.q[sc.qhead]
+		if wait := time.Until(d.due); wait > 0 {
+			sc.timer.Reset(wait)
+			sc.mu.Unlock()
 			return
 		}
-		if !fault.drop {
-			dst.recvs.Add(1)
-			dst.cq.post(Event{Kind: EvRecv, Msg: msg})
-			if fault.dup {
-				dst.recvs.Add(1)
-				dst.cq.post(Event{Kind: EvRecv, Msg: msg})
-			}
+		sc.q[sc.qhead] = delivery{}
+		sc.qhead++
+		sc.src.deliver(d)
+	}
+	sc.q = sc.q[:0]
+	sc.qhead = 0
+	sc.armed = false
+	sc.mu.Unlock()
+}
+
+// deliver completes one chained send: receiver EvRecv (unless dropped
+// or the destination closed) and sender EvSendDone.
+func (e *Endpoint) deliver(d delivery) {
+	if d.dst.closed.Load() {
+		e.cq.post(Event{Kind: EvError, Ctx: d.ctx, Err: fmt.Errorf("%w: %s", ErrClosed, d.msg.To)})
+		return
+	}
+	if !d.drop {
+		d.dst.recvs.Add(1)
+		d.dst.cq.post(Event{Kind: EvRecv, Msg: d.msg})
+		if d.dup {
+			d.dst.recvs.Add(1)
+			d.dst.cq.post(Event{Kind: EvRecv, Msg: d.msg})
 		}
-		// A dropped message still completes on the sender: the NIC
-		// reported the send done; the loss is the receiver's silence.
-		e.cq.post(Event{Kind: EvSendDone, Ctx: ctx})
-	})
+	}
+	// A dropped message still completes on the sender: the NIC
+	// reported the send done; the loss is the receiver's silence.
+	e.cq.post(Event{Kind: EvSendDone, Ctx: d.ctx})
 }
 
 // MemHandle names a registered memory region for one-sided access.
@@ -396,6 +479,13 @@ func (e *Endpoint) rdma(remote MemHandle, off int, local []byte, ctx any, put bo
 // per progress iteration; the batch size is the paper's OFI_max_events.
 func (e *Endpoint) Poll(max int) []Event {
 	return e.cq.poll(max)
+}
+
+// PollInto is Poll draining into the caller's reusable buffer; the
+// returned slice aliases buf when it has capacity. Mercury's progress
+// loop uses this so the per-iteration bounded read is allocation-free.
+func (e *Endpoint) PollInto(buf []Event, max int) []Event {
+	return e.cq.pollInto(buf, max)
 }
 
 // Wait blocks until at least one completion event is pending or the

@@ -92,6 +92,17 @@ type Sample struct {
 	BatchOccupancyHWM  uint64            `json:"batch_occupancy_hwm,omitempty"`
 	BatchFlushReasons  map[string]uint64 `json:"batch_flush_reasons,omitempty"`
 
+	// Scheduler-core activity (work-stealing ULT runtime) and the
+	// adaptive progress engine's spin/park transitions: together they
+	// show whether ES capacity matches load (paper C1/C2) and whether
+	// the progress loop is running hot or parked (C5/C6).
+	SchedQuanta       uint64 `json:"sched_quanta"`
+	SchedSteals       uint64 `json:"sched_steals"`
+	SchedParks        uint64 `json:"sched_parks"`
+	SchedWakes        uint64 `json:"sched_wakes"`
+	ProgressSpinPolls uint64 `json:"progress_spin_polls"`
+	ProgressParks     uint64 `json:"progress_parks"`
+
 	// Instance tuning knobs, exported so remediations show up in the
 	// series the moment a policy applies them.
 	OFIMaxEvents   int   `json:"ofi_max_events"`
@@ -270,6 +281,12 @@ func (s *Sampler) SampleOnce() Sample {
 			s.push(t, "batch_flush_reason/"+r, Counter, float64(sm.BatchFlushReasons[r]))
 		}
 	}
+	s.push(t, "sched_quanta_total", Counter, float64(sm.SchedQuanta))
+	s.push(t, "sched_steals_total", Counter, float64(sm.SchedSteals))
+	s.push(t, "sched_parks_total", Counter, float64(sm.SchedParks))
+	s.push(t, "sched_wakes_total", Counter, float64(sm.SchedWakes))
+	s.push(t, "progress_spin_polls_total", Counter, float64(sm.ProgressSpinPolls))
+	s.push(t, "progress_parks_total", Counter, float64(sm.ProgressParks))
 	s.push(t, "ofi_max_events", Gauge, float64(sm.OFIMaxEvents))
 	s.push(t, "handler_streams", Gauge, float64(sm.HandlerStreams))
 	s.push(t, "rpcs_in_flight", Gauge, float64(sm.RPCsInFlight))
